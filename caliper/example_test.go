@@ -1,0 +1,91 @@
+package caliper_test
+
+import (
+	"fmt"
+
+	"caligo/caliper"
+	"caligo/calql"
+)
+
+// Example reproduces the paper's Listing 1 program with the scheme
+// "AGGREGATE count GROUP BY function, loop.iteration", using virtual time
+// so the output is deterministic.
+func Example() {
+	ch, err := caliper.NewChannel(caliper.Config{
+		"services":      "event,timer,aggregate",
+		"timer.source":  "virtual",
+		"aggregate.key": "function,loop.iteration",
+		"aggregate.ops": "count,sum(time.duration)",
+	})
+	if err != nil {
+		panic(err)
+	}
+	th := ch.Thread()
+
+	call := func(name string, cost int64) {
+		th.Begin("function", name)
+		th.AdvanceVirtualTime(cost)
+		th.End("function")
+	}
+	for i := 0; i < 2; i++ {
+		th.Begin("loop.iteration", i)
+		call("foo", 10)
+		call("foo", 10)
+		call("bar", 5)
+		th.End("loop.iteration")
+	}
+
+	rs, err := calql.QueryChannel(`
+		SELECT function, loop.iteration, aggregate.count AS count,
+		       sum#time.duration AS time
+		AGGREGATE count, sum(time.duration)
+		WHERE function, loop.iteration
+		GROUP BY function, loop.iteration
+		ORDER BY loop.iteration, function`, ch)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(rs.String())
+	// Output:
+	// function loop.iteration count time
+	// bar                   0     1    5
+	// foo                   0     2   20
+	// bar                   1     1    5
+	// foo                   1     2   20
+}
+
+// ExamplePreset shows the ready-made configuration profiles.
+func ExamplePreset() {
+	cfg, err := caliper.Preset("runtime-report", "aggregate.key=region")
+	if err != nil {
+		panic(err)
+	}
+	ch, err := caliper.NewChannel(cfg)
+	if err != nil {
+		panic(err)
+	}
+	th := ch.Thread()
+	th.Begin("region", "solve")
+	th.End("region")
+	rows, _ := ch.Flush()
+	for _, r := range rows {
+		if v, ok := r.GetByName("region"); ok {
+			fmt.Println("region:", v.String())
+		}
+	}
+	// Output:
+	// region: solve
+}
+
+// ExampleChannel_SetGlobal records per-run metadata.
+func ExampleChannel_SetGlobal() {
+	ch, _ := caliper.NewChannel(caliper.Config{"services": "event"})
+	ch.SetGlobal("experiment", "triple-point")
+	ch.SetGlobal("resolution", 640)
+	for _, g := range ch.Globals() {
+		fmt.Printf("%s = %s\n", g.Attr.Name(), g.Value.String())
+	}
+	// Output:
+	// experiment = triple-point
+	// resolution = 640
+}

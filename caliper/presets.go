@@ -1,0 +1,78 @@
+package caliper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Presets are ready-made configuration profiles in the spirit of
+// Caliper's ConfigManager specs ("runtime-report", "event-trace", ...):
+// a named base configuration plus optional key=value overrides.
+//
+//	cfg, err := caliper.Preset("runtime-report", "aggregate.key=kernel")
+//	ch, err := caliper.NewChannel(cfg)
+var presets = map[string]Config{
+	// runtime-report: on-line event aggregation of region times — the
+	// everyday profiling configuration.
+	"runtime-report": {
+		"services":      "event,timer,aggregate",
+		"aggregate.key": "function",
+		"aggregate.ops": "count,sum(time.duration)",
+	},
+	// event-trace: store every snapshot (the paper's trace baseline).
+	"event-trace": {
+		"services": "event,timer,trace",
+	},
+	// sample-report: low-overhead sampling profile at 100 Hz.
+	"sample-report": {
+		"services":          "sampler,timer,aggregate",
+		"sampler.frequency": "100",
+		"aggregate.key":     "function",
+		"aggregate.ops":     "count",
+	},
+	// loop-report: time-series profile over a main loop iteration
+	// attribute (set "aggregate.key" to include your iteration label).
+	"loop-report": {
+		"services":      "event,timer,aggregate",
+		"aggregate.key": "function,iteration",
+		"aggregate.ops": "count,sum(time.duration)",
+	},
+}
+
+// PresetNames lists the available preset names.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns a copy of a named configuration profile with optional
+// "key=value" overrides applied, e.g.
+//
+//	Preset("runtime-report", "aggregate.key=kernel,mpi.rank")
+//
+// Overrides replace the preset's value for the key; unknown keys are
+// passed through to the channel configuration unchanged.
+func Preset(name string, overrides ...string) (Config, error) {
+	base, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("caliper: unknown preset %q (have: %s)",
+			name, strings.Join(PresetNames(), ", "))
+	}
+	cfg := Config{}
+	for k, v := range base {
+		cfg[k] = v
+	}
+	for _, o := range overrides {
+		eq := strings.IndexByte(o, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("caliper: preset override %q is not key=value", o)
+		}
+		cfg[o[:eq]] = o[eq+1:]
+	}
+	return cfg, nil
+}

@@ -1,0 +1,69 @@
+package caliper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetNames(t *testing.T) {
+	names := PresetNames()
+	if len(names) != 4 {
+		t.Fatalf("presets = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Error("names not sorted")
+		}
+	}
+}
+
+func TestPresetsAllBuildChannels(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ch, err := NewChannel(cfg)
+		if err != nil {
+			t.Fatalf("%s: NewChannel: %v", name, err)
+		}
+		// presets must be usable immediately
+		th := ch.Thread()
+		th.Begin("function", "f")
+		th.End("function")
+		if _, err := ch.Flush(); err != nil {
+			t.Fatalf("%s: Flush: %v", name, err)
+		}
+	}
+}
+
+func TestPresetOverrides(t *testing.T) {
+	cfg, err := Preset("runtime-report", "aggregate.key=kernel,mpi.rank", "extra=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg["aggregate.key"] != "kernel,mpi.rank" {
+		t.Errorf("override lost: %q", cfg["aggregate.key"])
+	}
+	if cfg["extra"] != "1" {
+		t.Errorf("pass-through key lost")
+	}
+	// the base map must not be mutated
+	cfg2, _ := Preset("runtime-report")
+	if cfg2["aggregate.key"] != "function" {
+		t.Errorf("preset base mutated: %q", cfg2["aggregate.key"])
+	}
+}
+
+func TestPresetErrors(t *testing.T) {
+	if _, err := Preset("nonsense"); err == nil ||
+		!strings.Contains(err.Error(), "runtime-report") {
+		t.Errorf("unknown preset error should list options: %v", err)
+	}
+	if _, err := Preset("event-trace", "badoverride"); err == nil {
+		t.Error("malformed override should error")
+	}
+	if _, err := Preset("event-trace", "=x"); err == nil {
+		t.Error("empty key override should error")
+	}
+}

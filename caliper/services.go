@@ -1,0 +1,423 @@
+package caliper
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"caligo/internal/attr"
+	"caligo/internal/calformat"
+	"caligo/internal/calql"
+	"caligo/internal/core"
+	"caligo/internal/query"
+	"caligo/internal/snapshot"
+)
+
+// ---------------------------------------------------------------------------
+// event service: triggers a snapshot on every annotation update
+// (synchronous, instrumentation-driven data collection).
+
+type eventService struct{}
+
+func newEventService(ch *Channel, _ Config) (service, error) {
+	svc := &eventService{}
+	ch.preBeginTrig = append(ch.preBeginTrig, func(t *Thread, _ attr.Attribute, _ attr.Variant) {
+		t.takeSnapshot()
+	})
+	ch.preEndTrig = append(ch.preEndTrig, func(t *Thread, _ attr.Attribute) {
+		t.takeSnapshot()
+	})
+	return svc, nil
+}
+
+func (*eventService) name() string { return "event" }
+
+// ---------------------------------------------------------------------------
+// timer service: appends time.duration (nanoseconds since the previous
+// snapshot on the thread) to every snapshot, and optionally
+// time.inclusive.duration at region end events.
+
+// DurationAttr is the label of the snapshot-duration measurement.
+const DurationAttr = "time.duration"
+
+// InclusiveDurationAttr is the label of the region-inclusive duration
+// measurement (enabled with "timer.inclusive": "true").
+const InclusiveDurationAttr = "time.inclusive.duration"
+
+type timerService struct {
+	durAttr  attr.Attribute
+	inclAttr attr.Attribute
+	incl     bool
+	epoch    time.Time
+	virtual  bool
+}
+
+type timerState struct {
+	last       int64 // ns on the service's time source; -1 = no snapshot yet
+	beginStack []int64
+	pending    int64 // pending inclusive duration, ns; -1 = none
+}
+
+// now reads the service's time source for a thread: host-monotonic
+// nanoseconds by default, the thread's virtual clock with
+// "timer.source": "virtual" (used when an instrumented simulator drives
+// time itself — see the emulated MPI layer).
+func (svc *timerService) now(t *Thread) int64 {
+	if svc.virtual {
+		return t.virtNow
+	}
+	return time.Since(svc.epoch).Nanoseconds()
+}
+
+func newTimerService(ch *Channel, cfg Config) (service, error) {
+	svc := &timerService{epoch: time.Now()}
+	switch cfg["timer.source"] {
+	case "", "real":
+	case "virtual":
+		svc.virtual = true
+		ch.virtualTimer = true
+	default:
+		return nil, fmt.Errorf("unknown timer.source %q", cfg["timer.source"])
+	}
+	var err error
+	svc.durAttr, err = ch.reg.Create(DurationAttr, attr.Int,
+		attr.AsValue|attr.Aggregatable|attr.SkipEvents)
+	if err != nil {
+		return nil, err
+	}
+	svc.incl = cfg["timer.inclusive"] == "true"
+	if svc.incl {
+		svc.inclAttr, err = ch.reg.Create(InclusiveDurationAttr, attr.Int,
+			attr.AsValue|attr.Aggregatable|attr.SkipEvents)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	state := func(t *Thread) *timerState {
+		return t.serviceState(svc, func() any { return &timerState{pending: -1, last: -1} }).(*timerState)
+	}
+
+	if svc.incl {
+		ch.preBeginMeas = append(ch.preBeginMeas, func(t *Thread, a attr.Attribute, _ attr.Variant) {
+			if a.IsNested() {
+				st := state(t)
+				st.beginStack = append(st.beginStack, svc.now(t))
+			}
+		})
+		ch.preEndMeas = append(ch.preEndMeas, func(t *Thread, a attr.Attribute) {
+			if !a.IsNested() {
+				return
+			}
+			st := state(t)
+			if n := len(st.beginStack); n > 0 {
+				st.pending = svc.now(t) - st.beginStack[n-1]
+				st.beginStack = st.beginStack[:n-1]
+			}
+		})
+	}
+
+	ch.onSnapshot = append(ch.onSnapshot, func(t *Thread, sb *snapshot.Builder) {
+		st := state(t)
+		now := svc.now(t)
+		if st.last >= 0 {
+			sb.AddImmediate(svc.durAttr, attr.IntV(now-st.last))
+		}
+		st.last = now
+		if svc.incl && st.pending >= 0 {
+			sb.AddImmediate(svc.inclAttr, attr.IntV(st.pending))
+			st.pending = -1
+		}
+	})
+	return svc, nil
+}
+
+func (*timerService) name() string { return "timer" }
+
+// ---------------------------------------------------------------------------
+// aggregate service: on-line event aggregation (Section IV-B). Keeps one
+// aggregation database per thread (no locks on the update path); the
+// per-thread databases are merged at flush time.
+
+type aggregateService struct {
+	scheme *core.Scheme
+	where  []calql.Condition
+}
+
+func newAggregateService(ch *Channel, cfg Config) (service, error) {
+	opsText := cfg["aggregate.ops"]
+	if opsText == "" {
+		opsText = "count"
+	}
+	queryText := "AGGREGATE " + opsText
+	if key := cfg["aggregate.key"]; key != "" {
+		queryText += " GROUP BY " + key
+	}
+	if where := cfg["aggregate.where"]; where != "" {
+		queryText += " WHERE " + where
+	}
+	q, err := calql.Parse(queryText)
+	if err != nil {
+		return nil, fmt.Errorf("invalid aggregation scheme: %w", err)
+	}
+	scheme, err := q.Scheme()
+	if err != nil {
+		return nil, err
+	}
+	svc := &aggregateService{scheme: scheme, where: q.Where}
+
+	ch.procSnap = append(ch.procSnap, func(t *Thread, rec snapshot.Record) {
+		db := t.serviceState(svc, func() any {
+			db, err := core.NewDB(svc.scheme, ch.reg)
+			if err != nil {
+				panic(err) // scheme was validated at startup
+			}
+			return db
+		}).(*core.DB)
+		flat, err := rec.Unpack(ch.tree, ch.reg)
+		if err != nil {
+			return // skip malformed records
+		}
+		for _, c := range svc.where {
+			if !query.EvalCondition(c, flat) {
+				return
+			}
+		}
+		db.Update(flat)
+	})
+	return svc, nil
+}
+
+func (*aggregateService) name() string { return "aggregate" }
+
+// flush merges all per-thread aggregation databases and emits the
+// combined results, then clears the databases.
+func (svc *aggregateService) flush(ch *Channel, emit func(snapshot.FlatRecord) error) error {
+	merged, err := core.NewDB(svc.scheme, ch.reg)
+	if err != nil {
+		return err
+	}
+	for _, t := range ch.threadsSnapshot() {
+		v, ok := t.state.Load(svc)
+		if !ok {
+			continue
+		}
+		db := v.(*core.DB)
+		if err := merged.Merge(db); err != nil {
+			return err
+		}
+		db.Clear()
+	}
+	return merged.Flush(emit)
+}
+
+// OutputRecords reports the current number of unique aggregation records
+// across all threads (Table I's "output records" column), without
+// flushing.
+func (ch *Channel) OutputRecords() int {
+	for _, svc := range ch.services {
+		agg, ok := svc.(*aggregateService)
+		if !ok {
+			continue
+		}
+		// count distinct keys across threads by merging into a scratch DB
+		merged, err := core.NewDB(agg.scheme, ch.reg)
+		if err != nil {
+			return 0
+		}
+		for _, t := range ch.threadsSnapshot() {
+			if v, ok := t.state.Load(svc); ok {
+				if err := merged.Merge(v.(*core.DB)); err != nil {
+					return 0
+				}
+			}
+		}
+		return merged.Len()
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// trace service: stores every snapshot record (per thread), emitting them
+// at flush. This is the configuration the paper's overhead study compares
+// aggregation against.
+
+type traceService struct{}
+
+type traceState struct {
+	records []snapshot.Record
+}
+
+func newTraceService(ch *Channel, _ Config) (service, error) {
+	svc := &traceService{}
+	ch.procSnap = append(ch.procSnap, func(t *Thread, rec snapshot.Record) {
+		st := t.serviceState(svc, func() any { return &traceState{} }).(*traceState)
+		st.records = append(st.records, rec)
+	})
+	return svc, nil
+}
+
+func (*traceService) name() string { return "trace" }
+
+func (svc *traceService) flush(ch *Channel, emit func(snapshot.FlatRecord) error) error {
+	for _, t := range ch.threadsSnapshot() {
+		v, ok := t.state.Load(svc)
+		if !ok {
+			continue
+		}
+		st := v.(*traceState)
+		for _, rec := range st.records {
+			flat, err := rec.Unpack(ch.tree, ch.reg)
+			if err != nil {
+				return err
+			}
+			if err := emit(flat); err != nil {
+				return err
+			}
+		}
+		st.records = nil
+	}
+	return nil
+}
+
+// TraceLength reports the number of buffered trace records across threads.
+func (ch *Channel) TraceLength() int {
+	n := 0
+	for _, svc := range ch.services {
+		ts, ok := svc.(*traceService)
+		if !ok {
+			continue
+		}
+		for _, t := range ch.threadsSnapshot() {
+			if v, ok := t.state.Load(ts); ok {
+				n += len(v.(*traceState).records)
+			}
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// recorder service: writes flush output to a .cali file
+// ("recorder.filename").
+
+type recorderService struct {
+	filename string
+}
+
+func newRecorderService(_ *Channel, cfg Config) (service, error) {
+	fn := cfg["recorder.filename"]
+	if fn == "" {
+		return nil, fmt.Errorf("recorder.filename is required")
+	}
+	return &recorderService{filename: fn}, nil
+}
+
+func (*recorderService) name() string { return "recorder" }
+
+// WriteFlushToFile flushes the channel and writes the records to the
+// recorder's configured file in .cali format. It is invoked by FlushAndWrite.
+func (svc *recorderService) writeFlush(ch *Channel) error {
+	f, err := os.Create(svc.filename)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := calformat.NewWriter(f, ch.reg, ch.tree)
+	if err := w.WriteGlobals(ch.Globals()); err != nil {
+		return err
+	}
+	err = ch.FlushEmit(func(r snapshot.FlatRecord) error {
+		return w.WriteFlat(r)
+	})
+	if err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// FlushAndWrite flushes the channel through its recorder service, writing
+// the output records to the configured file. Without a recorder service it
+// returns an error.
+func (ch *Channel) FlushAndWrite() error {
+	for _, svc := range ch.services {
+		if rec, ok := svc.(*recorderService); ok {
+			return rec.writeFlush(ch)
+		}
+	}
+	return fmt.Errorf("caliper: FlushAndWrite: no recorder service configured")
+}
+
+// ---------------------------------------------------------------------------
+// sampler service: asynchronous time-based snapshot collection. A ticker
+// goroutine snapshots every registered thread at the configured frequency.
+// (The original uses POSIX timer signals with an async-signal-safe
+// runtime; a ticker goroutine is the Go substitute and produces the same
+// snapshot stream.)
+
+type samplerService struct {
+	period time.Duration
+	stop   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+}
+
+func newSamplerService(ch *Channel, cfg Config) (service, error) {
+	freq := 100.0
+	if s := cfg["sampler.frequency"]; s != "" {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("invalid sampler.frequency %q", s)
+		}
+		freq = f
+	}
+	svc := &samplerService{
+		period: time.Duration(float64(time.Second) / freq),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	ch.sampling = true
+	go svc.run(ch)
+	return svc, nil
+}
+
+func (*samplerService) name() string { return "sampler" }
+
+func (svc *samplerService) run(ch *Channel) {
+	defer close(svc.done)
+	tick := time.NewTicker(svc.period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-svc.stop:
+			return
+		case <-tick.C:
+			for _, t := range ch.threadsSnapshot() {
+				t.takeSnapshot()
+			}
+		}
+	}
+}
+
+// finish stops the sampling goroutine before flush.
+func (svc *samplerService) finish(_ *Channel) error {
+	svc.once.Do(func() { close(svc.stop) })
+	<-svc.done
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// helpers shared by services
+
+// SortedServiceNames lists the services available in this build.
+func SortedServiceNames() []string {
+	names := make([]string, 0, len(serviceFactories))
+	for n := range serviceFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

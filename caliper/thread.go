@@ -1,0 +1,235 @@
+package caliper
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"caligo/internal/attr"
+	"caligo/internal/blackboard"
+	"caligo/internal/snapshot"
+)
+
+// Thread is one thread of execution's measurement state: its blackboard
+// and per-thread service data (e.g. its slice of the aggregation
+// database). A Thread is confined to the goroutine that created it; when a
+// sampler service is active, a lock serializes annotation updates against
+// asynchronous snapshot collection (Go's substitute for Caliper's
+// async-signal-safe implementation).
+//
+// Callback phases: trigger callbacks (the event service) run outside the
+// thread lock and may take snapshots; measurement callbacks (the timer
+// service) run under the lock together with the blackboard mutation.
+// Snapshots at region begin are taken before the blackboard update, so
+// the time since the previous snapshot is attributed to the enclosing
+// region; snapshots at region end are taken before the region is popped,
+// attributing the region's own time to it. This yields correct exclusive
+// time profiles under "AGGREGATE sum(time.duration)".
+type Thread struct {
+	ch    *Channel
+	bb    *blackboard.Blackboard
+	index int
+
+	// mu is non-nil only when sampling is enabled.
+	mu *sync.Mutex
+
+	// state holds per-service thread state, keyed by service pointer.
+	state sync.Map
+
+	// virtNow is the thread's virtual-time source in nanoseconds, used by
+	// the timer service when the channel is configured with
+	// "timer.source": "virtual". Owner-goroutine access only.
+	virtNow int64
+
+	snapshots atomic.Uint64
+}
+
+func (t *Thread) lock() {
+	if t.mu != nil {
+		t.mu.Lock()
+	}
+}
+
+func (t *Thread) unlock() {
+	if t.mu != nil {
+		t.mu.Unlock()
+	}
+}
+
+// Channel returns the channel this thread belongs to.
+func (t *Thread) Channel() *Channel { return t.ch }
+
+// Updates reports the number of blackboard updates on this thread.
+func (t *Thread) Updates() uint64 { return t.bb.Updates() }
+
+// Snapshots reports the number of snapshots taken on this thread.
+func (t *Thread) Snapshots() uint64 { return t.snapshots.Load() }
+
+// serviceState returns this thread's state for a service, creating it
+// with mk on first use.
+func (t *Thread) serviceState(key any, mk func() any) any {
+	if v, ok := t.state.Load(key); ok {
+		return v
+	}
+	v, _ := t.state.LoadOrStore(key, mk())
+	return v
+}
+
+// resolve finds or creates the attribute for an annotation. New attributes
+// default to nested regions (begin/end stack semantics) of the value's
+// type.
+func (t *Thread) resolve(name string, v attr.Variant) (attr.Attribute, error) {
+	if a, ok := t.ch.reg.Find(name); ok {
+		return a, nil
+	}
+	typ := v.Kind()
+	if typ == attr.Inv {
+		typ = attr.String
+	}
+	return t.ch.reg.Create(name, typ, attr.Nested)
+}
+
+// coerce converts v to the attribute's type if needed.
+func coerce(a attr.Attribute, v attr.Variant, op, name string) (attr.Variant, error) {
+	if a.Type() == v.Kind() {
+		return v, nil
+	}
+	conv, err := attr.ParseAs(v.String(), a.Type())
+	if err != nil {
+		return attr.Variant{}, fmt.Errorf("caliper: %s(%s): value %q does not match attribute type %v",
+			op, name, v.String(), a.Type())
+	}
+	return conv, nil
+}
+
+// Begin opens an annotated region: it pushes value onto the named
+// attribute's stack. The attribute is created on first use with nested
+// region semantics. Services observe the update; with the event service
+// enabled, a snapshot is triggered before the update.
+func (t *Thread) Begin(name string, value any) error {
+	v := attr.GuessV(value)
+	a, err := t.resolve(name, v)
+	if err != nil {
+		return err
+	}
+	v, err = coerce(a, v, "Begin", name)
+	if err != nil {
+		return err
+	}
+	events := a.Properties()&attr.SkipEvents == 0
+	if events {
+		for _, fn := range t.ch.preBeginTrig {
+			fn(t, a, v)
+		}
+	}
+	t.lock()
+	if events {
+		for _, fn := range t.ch.preBeginMeas {
+			fn(t, a, v)
+		}
+	}
+	err = t.bb.Begin(a, v)
+	t.unlock()
+	return err
+}
+
+// End closes the innermost open region of the named attribute. With the
+// event service enabled, a snapshot is taken before the region is popped,
+// so its data is still attributed to the region.
+func (t *Thread) End(name string) error {
+	a, ok := t.ch.reg.Find(name)
+	if !ok {
+		return fmt.Errorf("caliper: End(%s): unknown attribute", name)
+	}
+	events := a.Properties()&attr.SkipEvents == 0
+	if events {
+		t.lock()
+		for _, fn := range t.ch.preEndMeas {
+			fn(t, a)
+		}
+		t.unlock()
+		for _, fn := range t.ch.preEndTrig {
+			fn(t, a)
+		}
+	}
+	t.lock()
+	err := t.bb.End(a)
+	t.unlock()
+	return err
+}
+
+// Set replaces the innermost value of the named attribute (opening a
+// region if none is open). Services observe the update like Begin.
+func (t *Thread) Set(name string, value any) error {
+	v := attr.GuessV(value)
+	a, err := t.resolve(name, v)
+	if err != nil {
+		return err
+	}
+	v, err = coerce(a, v, "Set", name)
+	if err != nil {
+		return err
+	}
+	events := a.Properties()&attr.SkipEvents == 0
+	if events {
+		for _, fn := range t.ch.preBeginTrig {
+			fn(t, a, v)
+		}
+	}
+	t.lock()
+	if events {
+		for _, fn := range t.ch.preBeginMeas {
+			fn(t, a, v)
+		}
+	}
+	err = t.bb.Set(a, v)
+	t.unlock()
+	return err
+}
+
+// Snapshot explicitly triggers a snapshot on this thread: the current
+// blackboard contents are captured, measurement services append their
+// data, and processing services consume the record.
+func (t *Thread) Snapshot() {
+	t.takeSnapshot()
+}
+
+// takeSnapshot builds and dispatches one snapshot record. The whole
+// capture-measure-process sequence runs under the thread lock (when
+// sampling), so owner-triggered and sampler-triggered snapshots serialize
+// against blackboard updates and per-thread service state.
+func (t *Thread) takeSnapshot() {
+	t.lock()
+	defer t.unlock()
+	var sb snapshot.Builder
+	t.bb.Snapshot(&sb)
+	for _, fn := range t.ch.onSnapshot {
+		fn(t, &sb)
+	}
+	rec := sb.Record()
+	t.snapshots.Add(1)
+	t.ch.snapshots.Add(1)
+	for _, fn := range t.ch.procSnap {
+		fn(t, rec)
+	}
+}
+
+// SetVirtualTime sets the thread's virtual clock (nanoseconds). Only
+// meaningful with "timer.source": "virtual"; must be called from the
+// owning goroutine. Virtual time never runs backwards: setting an earlier
+// time is a no-op.
+func (t *Thread) SetVirtualTime(ns int64) {
+	if ns > t.virtNow {
+		t.virtNow = ns
+	}
+}
+
+// AdvanceVirtualTime adds to the thread's virtual clock.
+func (t *Thread) AdvanceVirtualTime(ns int64) {
+	if ns > 0 {
+		t.virtNow += ns
+	}
+}
+
+// VirtualTime returns the thread's virtual clock in nanoseconds.
+func (t *Thread) VirtualTime() int64 { return t.virtNow }

@@ -1,0 +1,222 @@
+// Package calql is the public interface to the aggregation description
+// language and query engine: parse queries in the SQL-like language of
+// Section III-B and run them over .cali datasets — serially or with the
+// emulated-MPI parallel query application of Section IV-C — or over
+// records flushed from a live caliper.Channel (on-line analytical
+// aggregation).
+package calql
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"caligo/caliper"
+	"caligo/internal/attr"
+	"caligo/internal/calformat"
+	internalcalql "caligo/internal/calql"
+	"caligo/internal/contexttree"
+	"caligo/internal/mpi"
+	"caligo/internal/pquery"
+	"caligo/internal/query"
+	"caligo/internal/snapshot"
+)
+
+// Query is a parsed query in the aggregation description language.
+type Query = internalcalql.Query
+
+// Parse parses a query, e.g.
+//
+//	AGGREGATE count, sum(time.duration) GROUP BY function, loop.iteration
+func Parse(text string) (*Query, error) { return internalcalql.Parse(text) }
+
+// MustParse is Parse panicking on error, for static query definitions.
+func MustParse(text string) *Query { return internalcalql.MustParse(text) }
+
+// Resultset holds query output rows together with the attribute registry
+// they resolve against.
+type Resultset struct {
+	Rows  []snapshot.FlatRecord
+	Reg   *attr.Registry
+	Query *Query
+}
+
+// Render writes the resultset in the query's FORMAT (default: table).
+func (rs *Resultset) Render(w io.Writer) error {
+	eng, err := query.New(rs.Query, rs.Reg)
+	if err != nil {
+		return err
+	}
+	return eng.Write(w, rs.Rows)
+}
+
+// String renders the resultset as text.
+func (rs *Resultset) String() string {
+	var sb stringsBuilder
+	if err := rs.Render(&sb); err != nil {
+		return fmt.Sprintf("<error: %v>", err)
+	}
+	return sb.String()
+}
+
+// stringsBuilder avoids importing strings just for Builder.
+type stringsBuilder struct{ buf []byte }
+
+func (b *stringsBuilder) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+func (b *stringsBuilder) String() string { return string(b.buf) }
+
+// QueryFiles runs a query serially over the given .cali files, merging
+// them into one dataset first (the off-line analytical aggregation path).
+func QueryFiles(queryText string, files []string) (*Resultset, error) {
+	q, err := Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	reg := attr.NewRegistry()
+	tree := contexttree.New()
+	eng, err := query.New(q, reg)
+	if err != nil {
+		return nil, err
+	}
+	for _, fn := range files {
+		f, err := os.Open(fn)
+		if err != nil {
+			return nil, err
+		}
+		rd := calformat.NewReader(f, reg, tree)
+		for {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("%s: %w", fn, err)
+			}
+			if err := eng.Process(rec); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	rows, err := eng.Results()
+	if err != nil {
+		return nil, err
+	}
+	return &Resultset{Rows: rows, Reg: reg, Query: q}, nil
+}
+
+// ParallelTiming re-exports the parallel query phase breakdown.
+type ParallelTiming = pquery.Timing
+
+// ParallelResult bundles a parallel query's resultset with its timing.
+type ParallelResult struct {
+	*Resultset
+	Timing           ParallelTiming
+	RecordsProcessed uint64
+}
+
+// QueryFilesParallel runs a query with the emulated-MPI parallel query
+// application: ranks MPI processes are spawned, files are distributed
+// round-robin (one subset per rank, as in the paper's weak-scaling setup),
+// each rank aggregates its subset locally, and the partial aggregation
+// databases are combined in a logarithmic tree reduction.
+func QueryFilesParallel(queryText string, files []string, ranks int) (*ParallelResult, error) {
+	if ranks <= 0 {
+		ranks = len(files)
+	}
+	if ranks <= 0 {
+		return nil, fmt.Errorf("calql: no input files")
+	}
+	world, err := mpi.NewWorld(ranks)
+	if err != nil {
+		return nil, err
+	}
+	provider := func(rank int) (io.ReadCloser, error) {
+		// round-robin assignment: rank r reads files r, r+ranks, ...
+		var readers []io.Reader
+		var closers []io.Closer
+		for i := rank; i < len(files); i += ranks {
+			f, err := os.Open(files[i])
+			if err != nil {
+				for _, c := range closers {
+					c.Close()
+				}
+				return nil, err
+			}
+			readers = append(readers, f)
+			closers = append(closers, f)
+		}
+		if len(readers) == 0 {
+			return nil, nil
+		}
+		return &multiReadCloser{r: io.MultiReader(readers...), closers: closers}, nil
+	}
+	res, err := pquery.Run(world, queryText, provider)
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelResult{
+		Resultset:        &Resultset{Rows: res.Rows, Reg: res.Reg, Query: res.Query},
+		Timing:           res.Timing,
+		RecordsProcessed: res.RecordsProcessed,
+	}, nil
+}
+
+type multiReadCloser struct {
+	r       io.Reader
+	closers []io.Closer
+}
+
+func (m *multiReadCloser) Read(p []byte) (int, error) { return m.r.Read(p) }
+
+func (m *multiReadCloser) Close() error {
+	var first error
+	for _, c := range m.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// QueryChannel flushes a live measurement channel and runs a query over
+// the flushed records (on-line analytical aggregation). The channel's
+// registry is shared, so result attributes resolve consistently.
+func QueryChannel(queryText string, ch *caliper.Channel) (*Resultset, error) {
+	q, err := Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := query.New(q, ch.Registry())
+	if err != nil {
+		return nil, err
+	}
+	if err := ch.FlushEmit(eng.Process); err != nil {
+		return nil, err
+	}
+	rows, err := eng.Results()
+	if err != nil {
+		return nil, err
+	}
+	return &Resultset{Rows: rows, Reg: ch.Registry(), Query: q}, nil
+}
+
+// QueryRecords runs a query over in-memory records resolved against reg.
+func QueryRecords(queryText string, reg *attr.Registry, recs []snapshot.FlatRecord) (*Resultset, error) {
+	q, err := Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := query.Run(q, reg, recs)
+	if err != nil {
+		return nil, err
+	}
+	return &Resultset{Rows: rows, Reg: reg, Query: q}, nil
+}

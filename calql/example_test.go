@@ -1,0 +1,66 @@
+package calql_test
+
+import (
+	"fmt"
+	"os"
+
+	"caligo/caliper"
+	"caligo/calql"
+)
+
+// Example runs a multi-stage workflow: on-line aggregation in the runtime,
+// then an off-line analytical query over the flushed profile — the paper's
+// combination of event aggregation and analytical aggregation.
+func Example() {
+	ch, err := caliper.NewChannel(caliper.Config{
+		"services":      "event,timer,aggregate",
+		"timer.source":  "virtual",
+		"aggregate.key": "kernel,iteration",
+		"aggregate.ops": "count,sum(time.duration)",
+	})
+	if err != nil {
+		panic(err)
+	}
+	th := ch.Thread()
+	for it := 0; it < 3; it++ {
+		th.Set("iteration", it)
+		for _, k := range []string{"assemble", "solve"} {
+			th.Begin("kernel", k)
+			cost := int64(100)
+			if k == "solve" {
+				cost = int64(200 * (it + 1)) // solve slows down over time
+			}
+			th.AdvanceVirtualTime(cost)
+			th.End("kernel")
+		}
+	}
+
+	// analytical aggregation: fold iterations away, add a percent column
+	rs, err := calql.QueryChannel(`
+		SELECT kernel, sum#sum#time.duration AS time,
+		       percent_total#sum#time.duration AS share
+		AGGREGATE sum(sum#time.duration), percent_total(sum#time.duration)
+		WHERE kernel
+		GROUP BY kernel
+		ORDER BY time DESC`, ch)
+	if err != nil {
+		panic(err)
+	}
+	rs.Render(os.Stdout)
+	// Output:
+	// kernel   time share
+	// solve    1200    80
+	// assemble  300    20
+}
+
+// ExampleParse shows query validation and the canonical form.
+func ExampleParse() {
+	q, err := calql.Parse(
+		"aggregate count, sum(time.duration) where not(mpi.function) group by kernel")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.String())
+	// Output:
+	// AGGREGATE count, sum(time.duration) WHERE not(mpi.function) GROUP BY kernel
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"caligo/caliper"
+)
+
+// writeProfile records a small profile with adjustable kernel durations.
+func writeProfile(t *testing.T, path string, durations map[string]int64) {
+	t.Helper()
+	ch, err := caliper.NewChannel(caliper.Config{
+		"services":          "event,timer,aggregate,recorder",
+		"timer.source":      "virtual",
+		"aggregate.key":     "kernel",
+		"aggregate.ops":     "count,sum(time.duration)",
+		"recorder.filename": path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := ch.Thread()
+	for kernel, dur := range durations {
+		th.Begin("kernel", kernel)
+		th.AdvanceVirtualTime(dur)
+		th.End("kernel")
+	}
+	if err := ch.FlushAndWrite(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.cali")
+	candPath := filepath.Join(dir, "cand.cali")
+	writeProfile(t, basePath, map[string]int64{"solver": 1000, "io": 500, "gone-kernel": 100})
+	writeProfile(t, candPath, map[string]int64{"solver": 2000, "io": 500, "new-kernel": 42})
+
+	var sb strings.Builder
+	err := run([]string{
+		"-q", "AGGREGATE sum(sum#time.duration) GROUP BY kernel",
+		"-metric", "sum#sum#time.duration",
+		basePath, "--", candPath,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "kernel=solver") || !strings.Contains(out, "+100.0%") {
+		t.Errorf("solver regression not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "kernel=io") || !strings.Contains(out, "+0.0%") {
+		t.Errorf("stable kernel missing:\n%s", out)
+	}
+	if !strings.Contains(out, "new-kernel") || !strings.Contains(out, "new") {
+		t.Errorf("new group not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "gone-kernel") || !strings.Contains(out, "gone") {
+		t.Errorf("disappeared group not flagged:\n%s", out)
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.cali")
+	candPath := filepath.Join(dir, "cand.cali")
+	writeProfile(t, basePath, map[string]int64{"a": 1000, "b": 1000})
+	writeProfile(t, candPath, map[string]int64{"a": 1010, "b": 2000})
+
+	var sb strings.Builder
+	err := run([]string{
+		"-q", "AGGREGATE sum(sum#time.duration) GROUP BY kernel",
+		"-metric", "sum#sum#time.duration",
+		"-threshold", "50",
+		basePath, "--", candPath,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "kernel=a") {
+		t.Errorf("below-threshold group reported:\n%s", out)
+	}
+	if !strings.Contains(out, "kernel=b") {
+		t.Errorf("above-threshold group missing:\n%s", out)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-q", "AGGREGATE count", "a.cali"}, &sb); err == nil {
+		t.Error("missing -metric and separator should error")
+	}
+	if err := run([]string{"-q", "AGGREGATE count", "-metric", "x", "a.cali"}, &sb); err == nil {
+		t.Error("missing -- separator should error")
+	}
+	missing := filepath.Join(t.TempDir(), "no.cali")
+	if err := run([]string{"-q", "AGGREGATE count", "-metric", "aggregate.count",
+		missing, "--", missing}, &sb); err == nil {
+		t.Error("missing files should error")
+	}
+	_ = os.Remove(missing)
+}

@@ -1,0 +1,81 @@
+// Command cali-query is the off-line query application of Section IV-C:
+// it runs a query in the aggregation description language over one or more
+// .cali datasets, either serially or with the emulated-MPI parallel
+// cross-process reduction.
+//
+// Usage:
+//
+//	cali-query [flags] file.cali [file2.cali ...]
+//
+// Examples:
+//
+//	cali-query -q "AGGREGATE count, sum(time.duration) GROUP BY mpi.function" rank-*.cali
+//	cali-query -q "AGGREGATE sum(aggregate.count) GROUP BY kernel FORMAT csv" profile.cali
+//	cali-query -parallel 16 -q "..." rank-*.cali     # tree reduction over 16 ranks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"caligo/calql"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cali-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cali-query", flag.ContinueOnError)
+	queryText := fs.String("q", "", "query in the aggregation description language (required)")
+	parallel := fs.Int("parallel", 0, "run the MPI-emulated parallel query with this many ranks (0 = serial)")
+	showTiming := fs.Bool("timing", false, "print phase timing of the parallel query")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: cali-query [flags] file.cali [file2.cali ...]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), "\nexample queries:\n"+
+			"  AGGREGATE count, sum(time.duration) GROUP BY function, loop.iteration\n"+
+			"  AGGREGATE sum(time.duration) WHERE not(mpi.function) GROUP BY amr.level\n"+
+			"  SELECT kernel, sum#time.duration AS time AGGREGATE sum(time.duration) GROUP BY kernel FORMAT csv\n")
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *queryText == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -q query")
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no input files")
+	}
+
+	if *parallel > 0 {
+		res, err := calql.QueryFilesParallel(*queryText, files, *parallel)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		if *showTiming {
+			fmt.Fprintf(os.Stderr,
+				"records: %d  local: %.2f ms  reduce: %.2f ms  total (virtual): %.2f ms  wall: %v\n",
+				res.RecordsProcessed,
+				res.Timing.LocalVirt/1e6, res.Timing.ReduceVirt/1e6,
+				res.Timing.TotalVirt/1e6, res.Timing.TotalWall)
+		}
+		return nil
+	}
+
+	res, err := calql.QueryFiles(*queryText, files)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
+}

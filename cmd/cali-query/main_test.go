@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"caligo/internal/apps/paradis"
+)
+
+func datasetDir(t *testing.T, ranks int) []string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := paradis.Config{Kernels: 5, MPIFunctions: 3, Iterations: 4, ExtraRecords: 1}
+	paths, err := paradis.GenerateDir(dir, ranks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func TestSerialQuery(t *testing.T) {
+	files := datasetDir(t, 3)
+	args := append([]string{"-q", "AGGREGATE sum(aggregate.count) GROUP BY kernel"}, files...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelQuery(t *testing.T) {
+	files := datasetDir(t, 4)
+	args := append([]string{"-parallel", "4", "-timing",
+		"-q", "AGGREGATE sum(sum#time.duration) GROUP BY kernel, mpi.function"}, files...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingQuery(t *testing.T) {
+	if err := run([]string{"somefile.cali"}); err == nil {
+		t.Error("missing -q should error")
+	}
+}
+
+func TestNoFiles(t *testing.T) {
+	if err := run([]string{"-q", "AGGREGATE count"}); err == nil {
+		t.Error("no files should error")
+	}
+}
+
+func TestBadQuery(t *testing.T) {
+	files := datasetDir(t, 1)
+	if err := run(append([]string{"-q", "FROB"}, files...)); err == nil {
+		t.Error("bad query should error")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "missing.cali")
+	if err := run([]string{"-q", "AGGREGATE count", bad}); err == nil {
+		t.Error("missing file should error")
+	}
+	_ = os.Remove(bad)
+}

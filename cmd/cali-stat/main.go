@@ -1,0 +1,148 @@
+// Command cali-stat inspects .cali datasets: it reports record counts,
+// the attribute table (name, type, properties, occurrence counts), and
+// context-tree sizes — the quick sanity view before writing queries.
+//
+// Usage:
+//
+//	cali-stat profile.cali [more.cali ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"caligo/internal/attr"
+	"caligo/internal/calformat"
+	"caligo/internal/contexttree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cali-stat:", err)
+		os.Exit(1)
+	}
+}
+
+// fileStats aggregates one dataset's statistics.
+type fileStats struct {
+	name      string
+	records   int
+	entries   int
+	treeNodes int
+	attrs     map[string]*attrStats
+	globals   int
+}
+
+type attrStats struct {
+	attr  attr.Attribute
+	count int
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cali-stat", flag.ContinueOnError)
+	combined := fs.Bool("combined", false, "also print totals over all files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("no input files")
+	}
+
+	var all []*fileStats
+	for _, fn := range files {
+		st, err := statFile(fn)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fn, err)
+		}
+		all = append(all, st)
+	}
+
+	for _, st := range all {
+		printStats(w, st)
+	}
+	if *combined && len(all) > 1 {
+		total := &fileStats{name: fmt.Sprintf("TOTAL (%d files)", len(all)),
+			attrs: map[string]*attrStats{}}
+		for _, st := range all {
+			total.records += st.records
+			total.entries += st.entries
+			total.treeNodes += st.treeNodes
+			total.globals += st.globals
+			for name, as := range st.attrs {
+				t := total.attrs[name]
+				if t == nil {
+					t = &attrStats{attr: as.attr}
+					total.attrs[name] = t
+				}
+				t.count += as.count
+			}
+		}
+		printStats(w, total)
+	}
+	return nil
+}
+
+func statFile(fn string) (*fileStats, error) {
+	f, err := os.Open(fn)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	reg := attr.NewRegistry()
+	tree := contexttree.New()
+	rd := calformat.NewReader(f, reg, tree)
+	st := &fileStats{name: fn, attrs: map[string]*attrStats{}}
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		st.records++
+		st.entries += len(rec)
+		for _, e := range rec {
+			as := st.attrs[e.Attr.Name()]
+			if as == nil {
+				as = &attrStats{attr: e.Attr}
+				st.attrs[e.Attr.Name()] = as
+			}
+			as.count++
+		}
+	}
+	st.treeNodes = tree.Len()
+	st.globals = len(rd.Globals())
+	return st, nil
+}
+
+func printStats(w io.Writer, st *fileStats) {
+	fmt.Fprintf(w, "%s:\n", st.name)
+	fmt.Fprintf(w, "  records: %d   entries: %d   context-tree nodes: %d   globals: %d\n",
+		st.records, st.entries, st.treeNodes, st.globals)
+	names := make([]string, 0, len(st.attrs))
+	for n := range st.attrs {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if st.attrs[names[i]].count != st.attrs[names[j]].count {
+			return st.attrs[names[i]].count > st.attrs[names[j]].count
+		}
+		return names[i] < names[j]
+	})
+	fmt.Fprintf(w, "  %-32s %-8s %-28s %10s\n", "attribute", "type", "properties", "entries")
+	for _, n := range names {
+		as := st.attrs[n]
+		props := as.attr.Properties().String()
+		if props == "" {
+			props = "-"
+		}
+		fmt.Fprintf(w, "  %-32s %-8s %-28s %10d\n",
+			n, as.attr.Type().String(), props, as.count)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"caligo/internal/apps/paradis"
+)
+
+func TestStatDataset(t *testing.T) {
+	dir := t.TempDir()
+	cfg := paradis.Config{Kernels: 3, MPIFunctions: 2, Iterations: 2, ExtraRecords: 1}
+	paths, err := paradis.GenerateDir(dir, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(append([]string{"-combined"}, paths...), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "records: 11") { // 3*2+2*2+1 per file
+		t.Errorf("per-file record count missing:\n%s", out)
+	}
+	if !strings.Contains(out, "TOTAL (2 files)") || !strings.Contains(out, "records: 22") {
+		t.Errorf("combined totals missing:\n%s", out)
+	}
+	if !strings.Contains(out, "kernel") || !strings.Contains(out, "aggregate.count") {
+		t.Errorf("attribute table missing:\n%s", out)
+	}
+}
+
+func TestStatErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("no files should error")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.cali")}, &sb); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.cali")
+	os.WriteFile(bad, []byte("__rec=ctx,ref=9\n"), 0o644)
+	if err := run([]string{bad}, &sb); err == nil {
+		t.Error("corrupt file should error")
+	}
+}

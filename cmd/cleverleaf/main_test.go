@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunEventMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	err := run([]string{"-ranks", "2", "-timesteps", "4", "-workscale", "0.05",
+		"-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("files = %d, want 2", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "__rec=ctx") {
+		t.Error("profile lacks records")
+	}
+}
+
+func TestRunVirtualMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	err := run([]string{"-ranks", "2", "-timesteps", "4", "-virtual", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSampleMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	err := run([]string{"-ranks", "2", "-timesteps", "4", "-workscale", "0.05",
+		"-mode", "sample", "-hz", "2000", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	err := run([]string{"-ranks", "1", "-timesteps", "2", "-workscale", "0.05",
+		"-mode", "trace", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMode(t *testing.T) {
+	if err := run([]string{"-mode", "bogus", "-out", t.TempDir()}); err == nil {
+		t.Error("bad mode should error")
+	}
+}

@@ -1,0 +1,145 @@
+// Command experiments regenerates the paper's tables and figures
+// (Figure 3, Table I, Figures 4-9) and prints each as text with shape
+// checks against the paper's qualitative claims. With -markdown it emits
+// the sections EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	experiments                 # run everything
+//	experiments -run fig4,fig8  # selected experiments
+//	experiments -quick          # reduced sizes for a fast pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"caligo/internal/apps/cleverleaf"
+	"caligo/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runList := fs.String("run", "all", "comma-separated experiment ids ("+
+		strings.Join(experiments.IDs(), ",")+") or 'all'")
+	markdown := fs.Bool("markdown", false, "emit Markdown sections (for EXPERIMENTS.md)")
+	quick := fs.Bool("quick", false, "reduced problem sizes for a fast pass")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *runList == "all" || *runList == "" {
+		for _, id := range experiments.IDs() {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	overheadCfg := experiments.DefaultOverheadConfig()
+	scalingCfg := experiments.DefaultScalingConfig()
+	caseCfg := experiments.DefaultCaseStudyConfig()
+	if *quick {
+		overheadCfg.App = cleverleaf.Config{Ranks: 2, Timesteps: 15, Levels: 3, WorkScale: 0.4}
+		overheadCfg.Runs = 1
+		scalingCfg.RankCounts = []int{1, 4, 16, 64}
+		caseCfg.App.Timesteps = 40
+	}
+
+	var reports []*experiments.Report
+	emit := func(r *experiments.Report) {
+		reports = append(reports, r)
+		if *markdown {
+			fmt.Println(r.Markdown())
+		} else {
+			fmt.Println(r.String())
+		}
+	}
+
+	if want["listing1"] {
+		rep, err := experiments.Listing1()
+		if err != nil {
+			return err
+		}
+		emit(rep)
+	}
+	// Figure 3 and Table I share one overhead study run.
+	if want["fig3"] || want["table1"] {
+		rows, err := experiments.RunOverheadStudy(overheadCfg)
+		if err != nil {
+			return err
+		}
+		if want["fig3"] {
+			rep, err := experiments.Figure3FromRows(rows)
+			if err != nil {
+				return err
+			}
+			emit(rep)
+		}
+		if want["table1"] {
+			emit(experiments.TableIFromRows(rows))
+		}
+	}
+	if want["fig4"] {
+		rep, err := experiments.Figure4(scalingCfg)
+		if err != nil {
+			return err
+		}
+		emit(rep)
+	}
+	type caseFig struct {
+		id string
+		fn func(experiments.CaseStudyConfig) (*experiments.Report, error)
+	}
+	for _, cf := range []caseFig{
+		{"fig5", experiments.Figure5},
+		{"fig6", experiments.Figure6},
+		{"fig7", experiments.Figure7},
+		{"fig8", experiments.Figure8},
+		{"fig9", experiments.Figure9},
+	} {
+		if !want[cf.id] {
+			continue
+		}
+		rep, err := cf.fn(caseCfg)
+		if err != nil {
+			return err
+		}
+		emit(rep)
+	}
+
+	if want["ablations"] {
+		rep, err := experiments.Ablations()
+		if err != nil {
+			return err
+		}
+		emit(rep)
+	}
+	failed := 0
+	for _, r := range reports {
+		if !r.Passed() {
+			failed++
+		}
+	}
+	if len(reports) == 0 {
+		return fmt.Errorf("no experiments selected (ids: %s)", strings.Join(experiments.IDs(), ", "))
+	}
+	fmt.Fprintf(os.Stderr, "%d experiments run, %d with failing shape checks\n",
+		len(reports), failed)
+	if failed > 0 {
+		os.Exit(2)
+	}
+	return nil
+}

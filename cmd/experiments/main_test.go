@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestQuickFig4(t *testing.T) {
+	if err := run([]string{"-quick", "-run", "fig4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMarkdown(t *testing.T) {
+	if err := run([]string{"-quick", "-run", "fig8", "-markdown"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}); err == nil {
+		t.Error("unknown experiment id should error")
+	}
+}

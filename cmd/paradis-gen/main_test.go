@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerate(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	err := run([]string{"-ranks", "3", "-out", dir,
+		"-kernels", "4", "-mpi", "2", "-iterations", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("files = %d, want 3", len(entries))
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := run([]string{"-ranks", "1", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, "rank-0000.cali"))
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("default dataset missing: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module caligo
+
+go 1.22

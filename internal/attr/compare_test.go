@@ -1,0 +1,85 @@
+package attr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCompareReflexive: Compare(v, v) == 0 for all variants.
+func TestQuickCompareReflexive(t *testing.T) {
+	f := func(k uint8, bits uint64, s string) bool {
+		v := quickVariant(k, bits, s)
+		return Compare(v, v) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompareAntisymmetric: Compare(a,b) == -Compare(b,a).
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(k1 uint8, b1 uint64, s1 string, k2 uint8, b2 uint64, s2 string) bool {
+		a, b := quickVariant(k1, b1, s1), quickVariant(k2, b2, s2)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompareTransitiveWithinFamily: within the numeric family and
+// within strings, a<=b and b<=c imply a<=c.
+func TestQuickCompareTransitiveWithinFamily(t *testing.T) {
+	numeric := func(x, y, z int64) bool {
+		a, b, c := IntV(x), FloatV(float64(y)), UintV(uint64(uint32(z)))
+		vs := []Variant{a, b, c}
+		// sort the three by Compare, then verify pairwise order
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if Compare(vs[i], vs[j]) > 0 {
+					vs[i], vs[j] = vs[j], vs[i]
+				}
+			}
+		}
+		return Compare(vs[0], vs[1]) <= 0 && Compare(vs[1], vs[2]) <= 0 &&
+			Compare(vs[0], vs[2]) <= 0
+	}
+	if err := quick.Check(numeric, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	str := func(x, y, z string) bool {
+		vs := []Variant{StringV(x), StringV(y), StringV(z)}
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if Compare(vs[i], vs[j]) > 0 {
+					vs[i], vs[j] = vs[j], vs[i]
+				}
+			}
+		}
+		return Compare(vs[0], vs[2]) <= 0
+	}
+	if err := quick.Check(str, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompareCrossNumericConsistency: Int/Uint/Float comparisons agree
+// with exact arithmetic on representable values.
+func TestCompareCrossNumericConsistency(t *testing.T) {
+	cases := []struct {
+		a, b Variant
+		want int
+	}{
+		{IntV(-1), UintV(0), -1},
+		{UintV(1 << 52), FloatV(float64(uint64(1) << 52)), 0},
+		{FloatV(0.5), IntV(1), -1},
+		{FloatV(-0.5), IntV(0), -1},
+		{BoolV(true), IntV(1), 0},
+		{BoolV(false), FloatV(0), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package blackboard implements the runtime blackboard: the globally
+// visible data structure that instrumentation and data-collection services
+// update with the current program state (Section IV-A of the paper).
+//
+// A blackboard tracks, per attribute, a stack of current values with
+// begin/end (push/pop) and set (replace) semantics. Attributes with the
+// Nested property share one interleaved stack, chained into a single
+// context-tree branch, so that e.g. "function" regions nest correctly
+// inside "loop" regions and one node reference captures the whole
+// annotation stack. Snapshots capture a compressed copy of the current
+// contents.
+//
+// A Blackboard is owned by one thread of execution (one caliper.Thread
+// handle) and is not safe for concurrent use; this mirrors Caliper's
+// per-thread design that avoids locks on the hot path.
+package blackboard
+
+import (
+	"fmt"
+
+	"caligo/internal/attr"
+	"caligo/internal/contexttree"
+	"caligo/internal/snapshot"
+)
+
+// Blackboard tracks the current attribute state for one thread.
+type Blackboard struct {
+	tree *contexttree.Tree
+	reg  *attr.Registry
+
+	// nested is the tip of the shared context-tree branch holding all
+	// currently open Nested attribute regions; nestedStack remembers the
+	// chain for validation and pop.
+	nested      contexttree.NodeID
+	nestedStack []attr.ID
+
+	// refStacks holds, per non-nested reference attribute, the stack of
+	// tree nodes (each node chains onto the previous one of the same
+	// attribute, so the node path encodes the stack).
+	refStacks map[attr.ID][]contexttree.NodeID
+
+	// immStacks holds value stacks for AsValue attributes.
+	immStacks map[attr.ID][]attr.Variant
+
+	// updates counts state-changing operations (for tests and stats).
+	updates uint64
+}
+
+// New returns a blackboard writing reference entries into tree.
+func New(tree *contexttree.Tree, reg *attr.Registry) *Blackboard {
+	return &Blackboard{
+		tree:      tree,
+		reg:       reg,
+		nested:    contexttree.InvalidNode,
+		refStacks: map[attr.ID][]contexttree.NodeID{},
+		immStacks: map[attr.ID][]attr.Variant{},
+	}
+}
+
+// Updates returns the number of state-changing operations performed.
+func (b *Blackboard) Updates() uint64 { return b.updates }
+
+// Begin opens a region: pushes value v for attribute a.
+func (b *Blackboard) Begin(a attr.Attribute, v attr.Variant) error {
+	if !a.IsValid() {
+		return fmt.Errorf("blackboard: Begin: invalid attribute")
+	}
+	b.updates++
+	switch {
+	case a.StoreAsValue():
+		b.immStacks[a.ID()] = append(b.immStacks[a.ID()], v)
+	case a.IsNested():
+		b.nested = b.tree.GetChild(b.nested, a, v)
+		b.nestedStack = append(b.nestedStack, a.ID())
+	default:
+		st := b.refStacks[a.ID()]
+		parent := contexttree.InvalidNode
+		if len(st) > 0 {
+			parent = st[len(st)-1]
+		}
+		b.refStacks[a.ID()] = append(st, b.tree.GetChild(parent, a, v))
+	}
+	return nil
+}
+
+// End closes the innermost open region of attribute a. Ending an attribute
+// that is not the innermost open Nested region is an error (mismatched
+// nesting), as is ending an attribute with no open region.
+func (b *Blackboard) End(a attr.Attribute) error {
+	if !a.IsValid() {
+		return fmt.Errorf("blackboard: End: invalid attribute")
+	}
+	b.updates++
+	switch {
+	case a.StoreAsValue():
+		st := b.immStacks[a.ID()]
+		if len(st) == 0 {
+			return fmt.Errorf("blackboard: End(%s): no open region", a.Name())
+		}
+		b.immStacks[a.ID()] = st[:len(st)-1]
+	case a.IsNested():
+		if len(b.nestedStack) == 0 {
+			return fmt.Errorf("blackboard: End(%s): no open region", a.Name())
+		}
+		top := b.nestedStack[len(b.nestedStack)-1]
+		if top != a.ID() {
+			topAttr, _ := b.reg.Get(top)
+			return fmt.Errorf("blackboard: End(%s): mismatched nesting, innermost open region is %s",
+				a.Name(), topAttr.Name())
+		}
+		b.nestedStack = b.nestedStack[:len(b.nestedStack)-1]
+		b.nested = b.tree.Parent(b.nested)
+	default:
+		st := b.refStacks[a.ID()]
+		if len(st) == 0 {
+			return fmt.Errorf("blackboard: End(%s): no open region", a.Name())
+		}
+		b.refStacks[a.ID()] = st[:len(st)-1]
+	}
+	return nil
+}
+
+// Set replaces the innermost value of attribute a (or opens a region if
+// none is open). Set on Nested attributes is only valid when the attribute
+// is itself the innermost open nested region or no nested region of it is
+// open at the tip; in the general case Set pushes a new value.
+func (b *Blackboard) Set(a attr.Attribute, v attr.Variant) error {
+	if !a.IsValid() {
+		return fmt.Errorf("blackboard: Set: invalid attribute")
+	}
+	b.updates++
+	switch {
+	case a.StoreAsValue():
+		st := b.immStacks[a.ID()]
+		if len(st) == 0 {
+			b.immStacks[a.ID()] = append(st, v)
+		} else {
+			st[len(st)-1] = v
+		}
+	case a.IsNested():
+		if len(b.nestedStack) > 0 && b.nestedStack[len(b.nestedStack)-1] == a.ID() {
+			b.nested = b.tree.GetChild(b.tree.Parent(b.nested), a, v)
+		} else {
+			b.nested = b.tree.GetChild(b.nested, a, v)
+			b.nestedStack = append(b.nestedStack, a.ID())
+		}
+	default:
+		st := b.refStacks[a.ID()]
+		if len(st) == 0 {
+			b.refStacks[a.ID()] = append(st, b.tree.GetChild(contexttree.InvalidNode, a, v))
+		} else {
+			parent := contexttree.InvalidNode
+			if len(st) > 1 {
+				parent = st[len(st)-2]
+			}
+			st[len(st)-1] = b.tree.GetChild(parent, a, v)
+		}
+	}
+	return nil
+}
+
+// Get returns the innermost current value of attribute a.
+func (b *Blackboard) Get(a attr.Attribute) (attr.Variant, bool) {
+	switch {
+	case a.StoreAsValue():
+		st := b.immStacks[a.ID()]
+		if len(st) == 0 {
+			return attr.Variant{}, false
+		}
+		return st[len(st)-1], true
+	case a.IsNested():
+		return b.tree.FindInPath(b.nested, a.ID())
+	default:
+		st := b.refStacks[a.ID()]
+		if len(st) == 0 {
+			return attr.Variant{}, false
+		}
+		aid, v, err := b.tree.Entry(st[len(st)-1])
+		if err != nil || aid != a.ID() {
+			return attr.Variant{}, false
+		}
+		return v, true
+	}
+}
+
+// Depth returns the number of open regions of attribute a.
+func (b *Blackboard) Depth(a attr.Attribute) int {
+	switch {
+	case a.StoreAsValue():
+		return len(b.immStacks[a.ID()])
+	case a.IsNested():
+		n := 0
+		for _, id := range b.nestedStack {
+			if id == a.ID() {
+				n++
+			}
+		}
+		return n
+	default:
+		return len(b.refStacks[a.ID()])
+	}
+}
+
+// Snapshot appends a compressed copy of the current blackboard contents to
+// the builder: the nested-branch tip node, the tip node of every non-empty
+// reference stack, and the top value of every non-empty immediate stack.
+// Hidden attributes are skipped.
+func (b *Blackboard) Snapshot(sb *snapshot.Builder) {
+	if b.nested != contexttree.InvalidNode {
+		sb.AddNode(b.nested)
+	}
+	for id, st := range b.refStacks {
+		if len(st) == 0 {
+			continue
+		}
+		if a, ok := b.reg.Get(id); ok && a.Properties()&attr.Hidden != 0 {
+			continue
+		}
+		sb.AddNode(st[len(st)-1])
+	}
+	for id, st := range b.immStacks {
+		if len(st) == 0 {
+			continue
+		}
+		a, ok := b.reg.Get(id)
+		if !ok || a.Properties()&attr.Hidden != 0 {
+			continue
+		}
+		sb.AddImmediate(a, st[len(st)-1])
+	}
+}
+
+// Clear resets the blackboard to the empty state.
+func (b *Blackboard) Clear() {
+	b.nested = contexttree.InvalidNode
+	b.nestedStack = b.nestedStack[:0]
+	for k := range b.refStacks {
+		delete(b.refStacks, k)
+	}
+	for k := range b.immStacks {
+		delete(b.immStacks, k)
+	}
+}

@@ -1,0 +1,516 @@
+// Package calformat implements the text stream format for performance
+// datasets, modeled on Caliper's .cali format. A stream is a sequence of
+// lines, each a record of comma-separated key=value fields:
+//
+//	__rec=attr,id=3,name=time.duration,type=int,prop=asvalue
+//	__rec=node,id=0,attr=1,data=main,parent=
+//	__rec=node,id=1,attr=1,data=foo,parent=0
+//	__rec=ctx,ref=1,attr=3,data=42
+//	__rec=globals,attr=5,data=quartz
+//
+// Attribute and node definitions appear before the records that reference
+// them, so streams can be written incrementally and read in one pass. The
+// node records encode the context tree, giving the same prefix compression
+// as the in-memory snapshot representation.
+package calformat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"caligo/internal/attr"
+	"caligo/internal/contexttree"
+	"caligo/internal/snapshot"
+)
+
+// escape protects field- and list-separator characters within values.
+// Escaped characters: backslash, comma, equals, colon, and newlines.
+func escape(s string) string {
+	if !strings.ContainsAny(s, "\\,=:\n\r") {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case ',':
+			sb.WriteString(`\,`)
+		case '=':
+			sb.WriteString(`\=`)
+		case ':':
+			sb.WriteString(`\:`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+// unescape reverses escape.
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 'r':
+				sb.WriteByte('\r')
+			default:
+				sb.WriteByte(s[i])
+			}
+			continue
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
+// splitFields splits a record line into key=value pairs. Values are
+// returned raw (still escaped) so that list values can be split on ':'
+// before unescaping; keys are unescaped here.
+func splitFields(line string) ([][2]string, error) {
+	var fields [][2]string
+	var key, val strings.Builder
+	inKey := true
+	flush := func() error {
+		if key.Len() == 0 && val.Len() == 0 && inKey {
+			return nil // empty segment
+		}
+		if inKey {
+			return fmt.Errorf("calformat: field %q has no '='", key.String())
+		}
+		fields = append(fields, [2]string{unescape(key.String()), val.String()})
+		key.Reset()
+		val.Reset()
+		inKey = true
+		return nil
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '\\' && i+1 < len(line):
+			// keep the escape sequence intact for later unescaping
+			if inKey {
+				key.WriteByte(c)
+				key.WriteByte(line[i+1])
+			} else {
+				val.WriteByte(c)
+				val.WriteByte(line[i+1])
+			}
+			i++
+		case c == ',':
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case c == '=' && inKey:
+			inKey = false
+		default:
+			if inKey {
+				key.WriteByte(c)
+			} else {
+				val.WriteByte(c)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return fields, nil
+}
+
+// Writer emits a .cali stream. It tracks which attribute and node
+// definitions have been written and emits them on first use, so records
+// can be written in any order. Writer is not safe for concurrent use.
+type Writer struct {
+	w         *bufio.Writer
+	reg       *attr.Registry
+	tree      *contexttree.Tree
+	wroteAttr map[attr.ID]bool
+	wroteNode map[contexttree.NodeID]bool
+}
+
+// NewWriter returns a Writer resolving attributes through reg and node
+// references through tree.
+func NewWriter(w io.Writer, reg *attr.Registry, tree *contexttree.Tree) *Writer {
+	return &Writer{
+		w:         bufio.NewWriter(w),
+		reg:       reg,
+		tree:      tree,
+		wroteAttr: map[attr.ID]bool{},
+		wroteNode: map[contexttree.NodeID]bool{},
+	}
+}
+
+// ensureAttr writes the attribute definition if not yet written.
+func (w *Writer) ensureAttr(a attr.Attribute) error {
+	if w.wroteAttr[a.ID()] {
+		return nil
+	}
+	w.wroteAttr[a.ID()] = true
+	_, err := fmt.Fprintf(w.w, "__rec=attr,id=%d,name=%s,type=%s,prop=%s\n",
+		a.ID(), escape(a.Name()), a.Type(), escape(a.Properties().String()))
+	return err
+}
+
+// ensureNode writes the node definition chain (parents first).
+func (w *Writer) ensureNode(n contexttree.NodeID) error {
+	if n == contexttree.InvalidNode || w.wroteNode[n] {
+		return nil
+	}
+	parent := w.tree.Parent(n)
+	if err := w.ensureNode(parent); err != nil {
+		return err
+	}
+	aid, val, err := w.tree.Entry(n)
+	if err != nil {
+		return err
+	}
+	a, ok := w.reg.Get(aid)
+	if !ok {
+		return fmt.Errorf("calformat: node %d references unknown attribute %d", n, aid)
+	}
+	if err := w.ensureAttr(a); err != nil {
+		return err
+	}
+	w.wroteNode[n] = true
+	parentStr := ""
+	if parent != contexttree.InvalidNode {
+		parentStr = strconv.Itoa(int(parent))
+	}
+	_, err = fmt.Fprintf(w.w, "__rec=node,id=%d,attr=%d,data=%s,parent=%s\n",
+		n, aid, escape(val.String()), parentStr)
+	return err
+}
+
+// WriteRecord writes one compressed snapshot record. Empty records are
+// skipped (an aggregation can produce an all-empty-key group with no
+// surviving result entries; there is nothing to encode for it).
+func (w *Writer) WriteRecord(rec snapshot.Record) error {
+	if rec.Empty() {
+		return nil
+	}
+	for _, n := range rec.Nodes {
+		if err := w.ensureNode(n); err != nil {
+			return err
+		}
+	}
+	for _, e := range rec.Imm {
+		if err := w.ensureAttr(e.Attr); err != nil {
+			return err
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("__rec=ctx")
+	if len(rec.Nodes) > 0 {
+		sb.WriteString(",ref=")
+		for i, n := range rec.Nodes {
+			if i > 0 {
+				sb.WriteByte(':')
+			}
+			sb.WriteString(strconv.Itoa(int(n)))
+		}
+	}
+	if len(rec.Imm) > 0 {
+		sb.WriteString(",attr=")
+		for i, e := range rec.Imm {
+			if i > 0 {
+				sb.WriteByte(':')
+			}
+			sb.WriteString(strconv.Itoa(int(e.Attr.ID())))
+		}
+		sb.WriteString(",data=")
+		for i, e := range rec.Imm {
+			if i > 0 {
+				sb.WriteByte(':')
+			}
+			sb.WriteString(escape(e.Value.String()))
+		}
+	}
+	sb.WriteByte('\n')
+	_, err := w.w.WriteString(sb.String())
+	return err
+}
+
+// WriteFlat writes a fully expanded record as immediate entries. This is
+// used for aggregation results, where prefix compression has no benefit.
+func (w *Writer) WriteFlat(rec snapshot.FlatRecord) error {
+	return w.WriteRecord(snapshot.Record{Imm: rec})
+}
+
+// WriteGlobals writes per-run metadata entries.
+func (w *Writer) WriteGlobals(entries []attr.Entry) error {
+	for _, e := range entries {
+		if err := w.ensureAttr(e.Attr); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w.w, "__rec=globals,attr=%d,data=%s\n",
+			e.Attr.ID(), escape(e.Value.String())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader parses a .cali stream. Stream-local attribute ids and node ids
+// are remapped into the supplied registry and context tree, so multiple
+// files can be read into one shared registry/tree (the basis for
+// cross-process aggregation of per-process files).
+type Reader struct {
+	sc      *bufio.Scanner
+	reg     *attr.Registry
+	tree    *contexttree.Tree
+	attrMap map[int64]attr.Attribute
+	nodeMap map[int64]contexttree.NodeID
+	globals []attr.Entry
+	line    int
+}
+
+// NewReader returns a Reader merging stream contents into reg and tree.
+func NewReader(r io.Reader, reg *attr.Registry, tree *contexttree.Tree) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	return &Reader{
+		sc:      sc,
+		reg:     reg,
+		tree:    tree,
+		attrMap: map[int64]attr.Attribute{},
+		nodeMap: map[int64]contexttree.NodeID{},
+	}
+}
+
+// Globals returns the metadata entries read so far.
+func (r *Reader) Globals() []attr.Entry { return r.globals }
+
+func (r *Reader) errf(format string, args ...any) error {
+	return fmt.Errorf("calformat: line %d: %s", r.line, fmt.Sprintf(format, args...))
+}
+
+// Next returns the next snapshot record in the stream, fully expanded.
+// It returns io.EOF after the last record.
+func (r *Reader) Next() (snapshot.FlatRecord, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimRight(r.sc.Text(), "\r")
+		if line == "" {
+			continue
+		}
+		fields, err := splitFields(line)
+		if err != nil {
+			return nil, r.errf("%v", err)
+		}
+		fm := map[string]string{}
+		for _, f := range fields {
+			fm[f[0]] = f[1]
+		}
+		has := map[string]bool{}
+		for _, f := range fields {
+			has[f[0]] = true
+		}
+		switch fm["__rec"] {
+		case "attr":
+			if err := r.readAttr(fm); err != nil {
+				return nil, err
+			}
+		case "node":
+			if err := r.readNode(fm); err != nil {
+				return nil, err
+			}
+		case "globals":
+			e, err := r.readEntry(fm)
+			if err != nil {
+				return nil, err
+			}
+			r.globals = append(r.globals, e)
+		case "ctx":
+			return r.readCtx(fm, has)
+		case "":
+			return nil, r.errf("record without __rec field")
+		default:
+			// unknown record kinds are skipped for forward compatibility
+		}
+	}
+	if err := r.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// ReadAll reads all remaining records.
+func (r *Reader) ReadAll() ([]snapshot.FlatRecord, error) {
+	var out []snapshot.FlatRecord
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func (r *Reader) readAttr(fm map[string]string) error {
+	id, err := strconv.ParseInt(fm["id"], 10, 64)
+	if err != nil {
+		return r.errf("attr record: bad id %q", fm["id"])
+	}
+	typ, ok := attr.ParseType(unescape(fm["type"]))
+	if !ok {
+		return r.errf("attr record: unknown type %q", fm["type"])
+	}
+	props, err := attr.ParseProperties(unescape(fm["prop"]))
+	if err != nil {
+		return r.errf("attr record: %v", err)
+	}
+	name := unescape(fm["name"])
+	if name == "" {
+		return r.errf("attr record: missing name")
+	}
+	a, err := r.reg.Create(name, typ, props)
+	if err != nil {
+		return r.errf("attr record: %v", err)
+	}
+	r.attrMap[id] = a
+	return nil
+}
+
+func (r *Reader) readNode(fm map[string]string) error {
+	id, err := strconv.ParseInt(fm["id"], 10, 64)
+	if err != nil {
+		return r.errf("node record: bad id %q", fm["id"])
+	}
+	aid, err := strconv.ParseInt(fm["attr"], 10, 64)
+	if err != nil {
+		return r.errf("node record: bad attr %q", fm["attr"])
+	}
+	a, ok := r.attrMap[aid]
+	if !ok {
+		return r.errf("node record: undefined attribute %d", aid)
+	}
+	parent := contexttree.InvalidNode
+	if ps := fm["parent"]; ps != "" {
+		pid, err := strconv.ParseInt(ps, 10, 64)
+		if err != nil {
+			return r.errf("node record: bad parent %q", ps)
+		}
+		parent, ok = r.nodeMap[pid]
+		if !ok {
+			return r.errf("node record: undefined parent node %d", pid)
+		}
+	}
+	v, err := attr.ParseAs(unescape(fm["data"]), a.Type())
+	if err != nil {
+		return r.errf("node record: %v", err)
+	}
+	r.nodeMap[id] = r.tree.GetChild(parent, a, v)
+	return nil
+}
+
+func (r *Reader) readEntry(fm map[string]string) (attr.Entry, error) {
+	aid, err := strconv.ParseInt(fm["attr"], 10, 64)
+	if err != nil {
+		return attr.Entry{}, r.errf("bad attr id %q", fm["attr"])
+	}
+	a, ok := r.attrMap[aid]
+	if !ok {
+		return attr.Entry{}, r.errf("undefined attribute %d", aid)
+	}
+	v, err := attr.ParseAs(unescape(fm["data"]), a.Type())
+	if err != nil {
+		return attr.Entry{}, r.errf("%v", err)
+	}
+	return attr.Entry{Attr: a, Value: v}, nil
+}
+
+// splitList splits a raw (still escaped) ':'-separated list and unescapes
+// each element.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && i+1 < len(s):
+			sb.WriteByte(s[i])
+			sb.WriteByte(s[i+1])
+			i++
+		case s[i] == ':':
+			out = append(out, unescape(sb.String()))
+			sb.Reset()
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	out = append(out, unescape(sb.String()))
+	return out
+}
+
+func (r *Reader) readCtx(fm map[string]string, has map[string]bool) (snapshot.FlatRecord, error) {
+	var rec snapshot.FlatRecord
+	for _, ref := range splitList(fm["ref"]) {
+		nid, err := strconv.ParseInt(ref, 10, 64)
+		if err != nil {
+			return nil, r.errf("ctx record: bad node ref %q", ref)
+		}
+		local, ok := r.nodeMap[nid]
+		if !ok {
+			return nil, r.errf("ctx record: undefined node %d", nid)
+		}
+		path, err := r.tree.Path(local, r.reg)
+		if err != nil {
+			return nil, r.errf("ctx record: %v", err)
+		}
+		rec = append(rec, path...)
+	}
+	attrs := splitList(fm["attr"])
+	data := splitList(fm["data"])
+	// a present-but-empty data field is one empty value (splitList cannot
+	// distinguish "" from an absent field)
+	if has["data"] && len(data) == 0 {
+		data = []string{""}
+	}
+	if has["attr"] && len(attrs) == 0 {
+		return nil, r.errf("ctx record: empty attr id list")
+	}
+	if len(attrs) != len(data) {
+		return nil, r.errf("ctx record: %d attr ids but %d values", len(attrs), len(data))
+	}
+	for i := range attrs {
+		aid, err := strconv.ParseInt(attrs[i], 10, 64)
+		if err != nil {
+			return nil, r.errf("ctx record: bad attr id %q", attrs[i])
+		}
+		a, ok := r.attrMap[aid]
+		if !ok {
+			return nil, r.errf("ctx record: undefined attribute %d", aid)
+		}
+		v, err := attr.ParseAs(data[i], a.Type())
+		if err != nil {
+			return nil, r.errf("ctx record: %v", err)
+		}
+		rec = append(rec, attr.Entry{Attr: a, Value: v})
+	}
+	if len(rec) == 0 {
+		return nil, r.errf("ctx record: empty record")
+	}
+	return rec, nil
+}

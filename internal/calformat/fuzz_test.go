@@ -1,0 +1,76 @@
+package calformat
+
+import (
+	"strings"
+	"testing"
+
+	"caligo/internal/attr"
+	"caligo/internal/contexttree"
+)
+
+// FuzzReader: the stream reader must never panic on arbitrary input —
+// corrupt datasets produce errors, not crashes.
+func FuzzReader(f *testing.F) {
+	seeds := []string{
+		"",
+		"__rec=attr,id=0,name=a,type=int,prop=\n__rec=ctx,attr=0,data=5\n",
+		"__rec=attr,id=1,name=function,type=string,prop=nested\n" +
+			"__rec=node,id=0,attr=1,data=main,parent=\n" +
+			"__rec=node,id=1,attr=1,data=foo,parent=0\n" +
+			"__rec=ctx,ref=1\n",
+		"__rec=globals,attr=9,data=x\n",
+		"__rec=ctx,ref=1:2:3,attr=4:5,data=a:b\n",
+		"__rec=attr,id=0,name=x\\,y,type=string,prop=\n__rec=ctx,attr=0,data=a\\:b\n",
+		"__rec=node,id=0,attr=0,data=x,parent=99\n",
+		strings.Repeat("__rec=attr,id=0,name=a,type=int,prop=\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		rd := NewReader(strings.NewReader(input), attr.NewRegistry(), contexttree.New())
+		// must terminate without panicking; errors are fine
+		_, _ = rd.ReadAll()
+	})
+}
+
+// FuzzWriterReaderRoundTrip: whatever the writer emits for wild attribute
+// names and values, the reader must parse back exactly.
+func FuzzWriterReaderRoundTrip(f *testing.F) {
+	f.Add("name", "value")
+	f.Add("we,ird=name", "va\\lue:with\nnewline")
+	f.Add("", "")
+	f.Add("a:b", "c,d=e")
+	f.Fuzz(func(t *testing.T, name, value string) {
+		if name == "" {
+			return // empty attribute names are rejected by the registry
+		}
+		reg := attr.NewRegistry()
+		tree := contexttree.New()
+		a, err := reg.Create(name, attr.String, attr.AsValue)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		w := NewWriter(&sb, reg, tree)
+		rec := []attr.Entry{{Attr: a, Value: attr.StringV(value)}}
+		if err := w.WriteFlat(rec); err != nil {
+			t.Fatalf("WriteFlat: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rd := NewReader(strings.NewReader(sb.String()), attr.NewRegistry(), contexttree.New())
+		recs, err := rd.ReadAll()
+		if err != nil {
+			t.Fatalf("read back: %v\nstream: %q", err, sb.String())
+		}
+		if len(recs) != 1 {
+			t.Fatalf("records = %d", len(recs))
+		}
+		got, ok := recs[0].GetByName(name)
+		if !ok || got.String() != value {
+			t.Fatalf("value round trip: got %q, want %q", got.String(), value)
+		}
+	})
+}

@@ -1,0 +1,355 @@
+package calql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"caligo/internal/core"
+)
+
+// Query is the parsed form of an aggregation / analysis query.
+type Query struct {
+	// Lets lists value-preprocessing definitions, applied to each input
+	// record before filtering and aggregation.
+	Lets []LetDef
+	// Select lists the projection, in order. Empty means "all attributes".
+	Select []SelectItem
+	// Ops lists the reduction operator instances (from AGGREGATE and from
+	// operator calls inside SELECT).
+	Ops []core.OpSpec
+	// PostOps lists post-aggregation computations (percent_total, ratio)
+	// evaluated over the result rows.
+	PostOps []PostOp
+	// GroupBy lists the aggregation key attribute labels.
+	GroupBy []string
+	// Where lists filter conditions; all must hold (comma means AND).
+	Where []Condition
+	// OrderBy lists sort keys applied to the output.
+	OrderBy []OrderItem
+	// Format selects the output formatter (default "table").
+	Format FormatSpec
+	// Limit caps the number of output records; <0 means unlimited.
+	Limit int
+}
+
+// PostOpKind enumerates post-aggregation operators: computations over the
+// completed result set rather than streaming reductions.
+type PostOpKind uint8
+
+const (
+	// PostPercentTotal reports each row's share of the column total,
+	// in percent: 100 * sum#x(row) / Σ sum#x(rows).
+	PostPercentTotal PostOpKind = iota
+	// PostRatio reports sum#x(row) / sum#y(row) per row.
+	PostRatio
+)
+
+func (k PostOpKind) String() string {
+	switch k {
+	case PostPercentTotal:
+		return "percent_total"
+	case PostRatio:
+		return "ratio"
+	}
+	return "post-op"
+}
+
+// PostOp is one post-aggregation computation.
+type PostOp struct {
+	Kind    PostOpKind
+	Target  string // numerator attribute
+	Target2 string // denominator attribute (ratio only)
+	Alias   string
+}
+
+// ResultName returns the output label of the computation.
+func (p PostOp) ResultName() string {
+	if p.Alias != "" {
+		return p.Alias
+	}
+	switch p.Kind {
+	case PostPercentTotal:
+		return "percent_total#" + p.Target
+	case PostRatio:
+		return "ratio#" + p.Target + "/" + p.Target2
+	}
+	return "post#" + p.Target
+}
+
+// String renders the post-op in query syntax.
+func (p PostOp) String() string {
+	var s string
+	switch p.Kind {
+	case PostPercentTotal:
+		s = "percent_total(" + quoteIfNeeded(p.Target) + ")"
+	case PostRatio:
+		s = "ratio(" + quoteIfNeeded(p.Target) + "," + quoteIfNeeded(p.Target2) + ")"
+	}
+	if p.Alias != "" {
+		s += " AS " + quoteIfNeeded(p.Alias)
+	}
+	return s
+}
+
+// SelectItem is one projection element.
+type SelectItem struct {
+	Star  bool   // '*'
+	Label string // attribute label (or operator result label)
+	Alias string // output rename, from AS
+}
+
+// DisplayName returns the column header for the item.
+func (s SelectItem) DisplayName() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	return s.Label
+}
+
+// CondOp enumerates filter comparison operators.
+type CondOp uint8
+
+const (
+	// CondExist is true when the attribute is present in the record.
+	CondExist CondOp = iota
+	// CondEq compares for equality against Value.
+	CondEq
+	// CondLt, CondLe, CondGt, CondGe compare ordering against Value.
+	CondLt
+	CondLe
+	CondGt
+	CondGe
+)
+
+func (c CondOp) String() string {
+	switch c {
+	case CondExist:
+		return ""
+	case CondEq:
+		return "="
+	case CondLt:
+		return "<"
+	case CondLe:
+		return "<="
+	case CondGt:
+		return ">"
+	case CondGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Condition is one WHERE predicate over an attribute.
+type Condition struct {
+	Attr   string
+	Op     CondOp
+	Value  string
+	Negate bool // NOT(...) or !=
+}
+
+// String renders the condition in query syntax.
+func (c Condition) String() string {
+	var inner string
+	if c.Op == CondExist {
+		inner = quoteIfNeeded(c.Attr)
+	} else if c.Op == CondEq && c.Negate {
+		return quoteIfNeeded(c.Attr) + "!=" + quoteValue(c.Value)
+	} else {
+		inner = quoteIfNeeded(c.Attr) + c.Op.String() + quoteValue(c.Value)
+	}
+	if c.Negate {
+		return "not(" + inner + ")"
+	}
+	return inner
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Label      string
+	Descending bool
+}
+
+// String renders the item in query syntax.
+func (o OrderItem) String() string {
+	if o.Descending {
+		return quoteIfNeeded(o.Label) + " DESC"
+	}
+	return quoteIfNeeded(o.Label)
+}
+
+// FormatSpec selects and parameterizes the output formatter.
+type FormatSpec struct {
+	Kind string // "table", "csv", "json", "tree", "cali" (empty = table)
+}
+
+// LetKind enumerates preprocessing operators usable in LET.
+type LetKind uint8
+
+const (
+	// LetScale multiplies a numeric attribute by a constant factor.
+	LetScale LetKind = iota
+	// LetTruncate rounds a numeric attribute down to a multiple of a step.
+	LetTruncate
+	// LetFirst takes the first present attribute of a list (coalesce).
+	LetFirst
+)
+
+func (k LetKind) String() string {
+	switch k {
+	case LetScale:
+		return "scale"
+	case LetTruncate:
+		return "truncate"
+	case LetFirst:
+		return "first"
+	}
+	return "let-op"
+}
+
+// LetDef defines a derived attribute computed per input record.
+type LetDef struct {
+	Name   string // the derived attribute's label
+	Kind   LetKind
+	Args   []string // attribute labels
+	Factor float64  // scale factor / truncate step
+}
+
+// String renders the definition in query syntax.
+func (l LetDef) String() string {
+	switch l.Kind {
+	case LetScale, LetTruncate:
+		return fmt.Sprintf("%s = %s(%s,%s)", quoteIfNeeded(l.Name), l.Kind,
+			quoteIfNeeded(l.Args[0]), strconv.FormatFloat(l.Factor, 'g', -1, 64))
+	default:
+		args := make([]string, len(l.Args))
+		for i, a := range l.Args {
+			args[i] = quoteIfNeeded(a)
+		}
+		return fmt.Sprintf("%s = %s(%s)", quoteIfNeeded(l.Name), l.Kind, strings.Join(args, ","))
+	}
+}
+
+// String renders the whole query in canonical form. Parsing the result
+// yields an equivalent query (round-trip property, checked by tests).
+func (q *Query) String() string {
+	var parts []string
+	if len(q.Lets) > 0 {
+		defs := make([]string, len(q.Lets))
+		for i, l := range q.Lets {
+			defs[i] = l.String()
+		}
+		parts = append(parts, "LET "+strings.Join(defs, ", "))
+	}
+	if len(q.Select) > 0 {
+		items := make([]string, len(q.Select))
+		for i, s := range q.Select {
+			switch {
+			case s.Star:
+				items[i] = "*"
+			case s.Alias != "":
+				items[i] = quoteIfNeeded(s.Label) + " AS " + quoteIfNeeded(s.Alias)
+			default:
+				items[i] = quoteIfNeeded(s.Label)
+			}
+		}
+		parts = append(parts, "SELECT "+strings.Join(items, ", "))
+	}
+	if len(q.Ops) > 0 || len(q.PostOps) > 0 {
+		var items []string
+		for _, o := range q.Ops {
+			items = append(items, o.String())
+		}
+		for _, p := range q.PostOps {
+			items = append(items, p.String())
+		}
+		parts = append(parts, "AGGREGATE "+strings.Join(items, ", "))
+	}
+	if len(q.Where) > 0 {
+		items := make([]string, len(q.Where))
+		for i, c := range q.Where {
+			items[i] = c.String()
+		}
+		parts = append(parts, "WHERE "+strings.Join(items, ", "))
+	}
+	if len(q.GroupBy) > 0 {
+		keys := make([]string, len(q.GroupBy))
+		for i, k := range q.GroupBy {
+			keys[i] = quoteIfNeeded(k)
+		}
+		parts = append(parts, "GROUP BY "+strings.Join(keys, ", "))
+	}
+	if len(q.OrderBy) > 0 {
+		items := make([]string, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			items[i] = o.String()
+		}
+		parts = append(parts, "ORDER BY "+strings.Join(items, ", "))
+	}
+	if q.Format.Kind != "" {
+		parts = append(parts, "FORMAT "+q.Format.Kind)
+	}
+	if q.Limit >= 0 {
+		parts = append(parts, "LIMIT "+strconv.Itoa(q.Limit))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Scheme extracts the aggregation scheme (key + operators) from the query.
+// Returns nil when the query performs no aggregation.
+func (q *Query) Scheme() (*core.Scheme, error) {
+	if len(q.Ops) == 0 {
+		if len(q.GroupBy) > 0 {
+			return nil, fmt.Errorf("calql: GROUP BY without aggregation operators")
+		}
+		return nil, nil
+	}
+	return core.NewScheme(q.GroupBy, q.Ops)
+}
+
+// HasAggregation reports whether the query performs aggregation.
+func (q *Query) HasAggregation() bool { return len(q.Ops) > 0 }
+
+// quoteRaw wraps s in double quotes, escaping only backslash and the
+// quote character — exactly the escapes the lexer understands, so any
+// byte sequence round-trips (including raw newlines and non-UTF-8).
+func quoteRaw(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// quoteValue quotes a comparison value unless it lexes back as a single
+// identifier or number token (both are valid value positions).
+func quoteValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	toks, err := lex(s)
+	if err == nil && len(toks) == 2 && toks[0].text == s &&
+		(toks[0].kind == tokIdent || toks[0].kind == tokNumber) {
+		return s
+	}
+	return quoteRaw(s)
+}
+
+// quoteIfNeeded quotes a label or value that would not lex back as a
+// single identifier (characters outside the identifier set, or text the
+// lexer reads as a number).
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return `""`
+	}
+	toks, err := lex(s)
+	if err == nil && len(toks) == 2 && toks[0].kind == tokIdent && toks[0].text == s {
+		return s
+	}
+	return quoteRaw(s)
+}

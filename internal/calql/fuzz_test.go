@@ -1,0 +1,39 @@
+package calql
+
+import "testing"
+
+// FuzzParse: the query parser must never panic on arbitrary input, and
+// every successfully parsed query must round-trip through its canonical
+// printed form.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"AGGREGATE count, sum(time.duration) GROUP BY function, loop.iteration",
+		"AGGREGATE sum(time.duration) WHERE not(mpi.function) GROUP BY amr.level,iteration#mainloop",
+		"SELECT * WHERE kernel=advec FORMAT json LIMIT 3",
+		"LET x = scale(y, 0.5) AGGREGATE histogram(x,0,10,4), percent_total(x) GROUP BY k ORDER BY k DESC",
+		"AGGREGATE ratio(a,b) AS r GROUP BY k",
+		`WHERE a="quoted \" string", b!=3`,
+		"GROUP",
+		"AGGREGATE",
+		"((((",
+		"\\\n\\\n",
+		"SELECT \x00",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %q -> %q: %v", input, printed, err)
+		}
+		if q2.String() != printed {
+			t.Fatalf("canonical form not a fixpoint: %q -> %q -> %q", input, printed, q2.String())
+		}
+	})
+}

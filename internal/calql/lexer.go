@@ -1,0 +1,210 @@
+// Package calql implements the aggregation description language of
+// Section III-B: a small SQL-like language with AGGREGATE, GROUP BY,
+// WHERE, SELECT, FORMAT, ORDER BY, LIMIT, and LET clauses, used to
+// configure both on-line and off-line aggregation.
+//
+// Examples from the paper:
+//
+//	AGGREGATE count, sum(time.duration) GROUP BY function, loop.iteration
+//	AGGREGATE sum(time.duration) WHERE not(mpi.function)
+//	    GROUP BY amr.level, iteration#mainloop
+package calql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString // quoted
+	tokComma
+	tokLParen
+	tokRParen
+	tokStar
+	tokEq // =
+	tokNe // !=
+	tokLt // <
+	tokLe // <=
+	tokGt // >
+	tokGe // >=
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokStar:
+		return "'*'"
+	case tokEq:
+		return "'='"
+	case tokNe:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	}
+	return "token"
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// isIdentRune reports whether r may appear inside an attribute label.
+// Labels are liberal: the paper uses dots ("time.duration"), hashes
+// ("iteration#mainloop", "sum#time"), and colons can appear in
+// user-defined names.
+func isIdentRune(r rune) bool {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		return true
+	case r == '.', r == '_', r == '#', r == ':', r == '-', r == '/', r == '@':
+		return true
+	}
+	return false
+}
+
+// lex splits the input into tokens. A backslash before a newline is a line
+// continuation (the paper wraps long schemes with '\').
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\\': // line continuation
+			i++
+			for i < n && (input[i] == ' ' || input[i] == '\t') {
+				i++
+			}
+			if i < n && (input[i] == '\n' || input[i] == '\r') {
+				i++
+			}
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokNe, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("calql: offset %d: unexpected '!'", i)
+			}
+		case c == '<':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokLe, "<=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokLt, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokGe, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGt, ">", i})
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				if input[j] == '\\' && j+1 < n {
+					sb.WriteByte(input[j+1])
+					j += 2
+					continue
+				}
+				if input[j] == quote {
+					closed = true
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("calql: offset %d: unterminated string", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			j := i + 1
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.' ||
+				input[j] == 'e' || input[j] == 'E' ||
+				((input[j] == '+' || input[j] == '-') && (input[j-1] == 'e' || input[j-1] == 'E'))) {
+				j++
+			}
+			// a number immediately followed by identifier runes is really a
+			// label starting with digits (e.g. "2d.kernel")
+			if j < n && isIdentRune(rune(input[j])) && input[j] != '.' {
+				for j < n && isIdentRune(rune(input[j])) {
+					j++
+				}
+				toks = append(toks, token{tokIdent, input[i:j], i})
+			} else {
+				toks = append(toks, token{tokNumber, input[i:j], i})
+			}
+			i = j
+		case isIdentRune(rune(c)):
+			j := i
+			for j < n && isIdentRune(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("calql: offset %d: unexpected character %q", i, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+// keywordIs reports whether a token is the given keyword
+// (case-insensitive identifier match).
+func keywordIs(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,596 @@
+package calql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"caligo/internal/core"
+)
+
+// clause-start keywords; identifiers matching these (case-insensitively)
+// at clause position start a new clause.
+var clauseKeywords = []string{"let", "select", "aggregate", "group", "where", "order", "format", "limit"}
+
+// knownFormats lists the output formatters the query engine provides.
+var knownFormats = map[string]bool{
+	"table": true, "csv": true, "json": true, "tree": true, "expand": true, "cali": true,
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a query in the aggregation description language.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &Query{Limit: -1}
+
+	for !p.at(tokEOF) {
+		t := p.peek()
+		switch {
+		case keywordIs(t, "let"):
+			p.next()
+			if err := p.parseLets(q); err != nil {
+				return nil, err
+			}
+		case keywordIs(t, "select"):
+			p.next()
+			if err := p.parseSelect(q); err != nil {
+				return nil, err
+			}
+		case keywordIs(t, "aggregate"):
+			p.next()
+			if err := p.parseAggregate(q); err != nil {
+				return nil, err
+			}
+		case keywordIs(t, "group"):
+			p.next()
+			if !keywordIs(p.peek(), "by") {
+				return nil, p.errf("expected BY after GROUP")
+			}
+			p.next()
+			if err := p.parseGroupBy(q); err != nil {
+				return nil, err
+			}
+		case keywordIs(t, "where"):
+			p.next()
+			if err := p.parseWhere(q); err != nil {
+				return nil, err
+			}
+		case keywordIs(t, "order"):
+			p.next()
+			if !keywordIs(p.peek(), "by") {
+				return nil, p.errf("expected BY after ORDER")
+			}
+			p.next()
+			if err := p.parseOrderBy(q); err != nil {
+				return nil, err
+			}
+		case keywordIs(t, "format"):
+			p.next()
+			if err := p.parseFormat(q); err != nil {
+				return nil, err
+			}
+		case keywordIs(t, "limit"):
+			p.next()
+			if err := p.parseLimit(q); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected a clause keyword (SELECT, AGGREGATE, GROUP BY, WHERE, ORDER BY, FORMAT, LIMIT, LET), got %q", t.text)
+		}
+	}
+	if err := validate(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse panicking on error, for static query definitions.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (p *parser) peek() token       { return p.toks[p.pos] }
+func (p *parser) next() token       { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokKind) bool { return p.toks[p.pos].kind == k }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("calql: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// atClauseKeyword reports whether the current token starts a new clause.
+func (p *parser) atClauseKeyword() bool {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return false
+	}
+	for _, kw := range clauseKeywords {
+		if strings.EqualFold(t.text, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// expectLabel consumes an identifier or quoted string used as a label.
+// Empty labels are rejected: every attribute has a non-empty name.
+func (p *parser) expectLabel(what string) (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent && t.kind != tokString {
+		return "", p.errf("expected %s, got %s", what, t.kind)
+	}
+	if t.text == "" {
+		return "", p.errf("expected %s, got an empty string", what)
+	}
+	p.next()
+	return t.text, nil
+}
+
+// parseAlias consumes an optional "AS alias".
+func (p *parser) parseAlias() (string, error) {
+	if !keywordIs(p.peek(), "as") {
+		return "", nil
+	}
+	p.next()
+	return p.expectLabel("alias after AS")
+}
+
+// parseOpCall parses op(args...) after the op-name identifier has been
+// consumed.
+func (p *parser) parseOpCall(kind core.OpKind) (core.OpSpec, error) {
+	spec := core.OpSpec{Kind: kind}
+	if !p.at(tokLParen) {
+		if kind.NeedsTarget() {
+			return spec, p.errf("operator %s requires arguments", kind)
+		}
+		return spec, nil // bare "count"
+	}
+	p.next() // (
+	if p.at(tokRParen) {
+		p.next()
+		if kind.NeedsTarget() {
+			return spec, p.errf("operator %s requires a target attribute", kind)
+		}
+		return spec, nil // "count()"
+	}
+	target, err := p.expectLabel("attribute label")
+	if err != nil {
+		return spec, err
+	}
+	if !kind.NeedsTarget() {
+		return spec, p.errf("operator %s takes no arguments", kind)
+	}
+	spec.Target = target
+	if kind == core.OpHistogram {
+		nums := make([]float64, 0, 3)
+		for p.at(tokComma) {
+			p.next()
+			t := p.peek()
+			if t.kind != tokNumber {
+				return spec, p.errf("histogram parameters must be numbers, got %q", t.text)
+			}
+			p.next()
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return spec, p.errf("bad number %q: %v", t.text, err)
+			}
+			nums = append(nums, f)
+		}
+		if len(nums) != 3 {
+			return spec, p.errf("histogram(attr,min,max,bins) requires 3 numeric parameters, got %d", len(nums))
+		}
+		spec.HistMin, spec.HistMax, spec.HistBins = nums[0], nums[1], int(nums[2])
+	}
+	if !p.at(tokRParen) {
+		return spec, p.errf("expected ')' after operator arguments, got %q", p.peek().text)
+	}
+	p.next()
+	return spec, nil
+}
+
+// parsePostOp parses percent_total(x) or ratio(x,y) after the name has
+// been consumed.
+func (p *parser) parsePostOp(kind PostOpKind) (PostOp, error) {
+	op := PostOp{Kind: kind}
+	if !p.at(tokLParen) {
+		return op, p.errf("%s requires arguments", kind)
+	}
+	p.next()
+	target, err := p.expectLabel("attribute label")
+	if err != nil {
+		return op, err
+	}
+	op.Target = target
+	if kind == PostRatio {
+		if !p.at(tokComma) {
+			return op, p.errf("ratio(numerator, denominator) requires two attributes")
+		}
+		p.next()
+		den, err := p.expectLabel("attribute label")
+		if err != nil {
+			return op, err
+		}
+		op.Target2 = den
+	}
+	if !p.at(tokRParen) {
+		return op, p.errf("expected ')' after %s arguments", kind)
+	}
+	p.next()
+	op.Alias, err = p.parseAlias()
+	return op, err
+}
+
+func (p *parser) parseAggregate(q *Query) error {
+	for {
+		name, err := p.expectLabel("operator name")
+		if err != nil {
+			return err
+		}
+		switch strings.ToLower(name) {
+		case "percent_total":
+			op, err := p.parsePostOp(PostPercentTotal)
+			if err != nil {
+				return err
+			}
+			q.PostOps = append(q.PostOps, op)
+		case "ratio":
+			op, err := p.parsePostOp(PostRatio)
+			if err != nil {
+				return err
+			}
+			q.PostOps = append(q.PostOps, op)
+		default:
+			kind, ok := core.ParseOpKind(strings.ToLower(name))
+			if !ok {
+				return p.errf("unknown aggregation operator %q", name)
+			}
+			spec, err := p.parseOpCall(kind)
+			if err != nil {
+				return err
+			}
+			spec.Alias, err = p.parseAlias()
+			if err != nil {
+				return err
+			}
+			q.Ops = append(q.Ops, spec)
+		}
+		if !p.at(tokComma) {
+			return nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseSelect(q *Query) error {
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokStar:
+			p.next()
+			q.Select = append(q.Select, SelectItem{Star: true})
+		case t.kind == tokIdent || t.kind == tokString:
+			name := t.text
+			p.next()
+			kind, isOp := core.ParseOpKind(strings.ToLower(name))
+			if isOp && (p.at(tokLParen) || !kind.NeedsTarget()) && t.kind == tokIdent {
+				// an aggregation inside SELECT, e.g. "SELECT kernel, sum(time)"
+				spec, err := p.parseOpCall(kind)
+				if err != nil {
+					return err
+				}
+				alias, err := p.parseAlias()
+				if err != nil {
+					return err
+				}
+				spec.Alias = alias
+				q.Ops = append(q.Ops, spec)
+				q.Select = append(q.Select, SelectItem{Label: spec.ResultName()})
+			} else {
+				alias, err := p.parseAlias()
+				if err != nil {
+					return err
+				}
+				q.Select = append(q.Select, SelectItem{Label: name, Alias: alias})
+			}
+		default:
+			return p.errf("expected projection item, got %s", t.kind)
+		}
+		if !p.at(tokComma) {
+			return nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseGroupBy(q *Query) error {
+	for {
+		label, err := p.expectLabel("attribute label")
+		if err != nil {
+			return err
+		}
+		q.GroupBy = append(q.GroupBy, label)
+		if !p.at(tokComma) {
+			return nil
+		}
+		p.next()
+	}
+}
+
+// parseCondition parses one WHERE predicate:
+//
+//	attr | attr=value | attr!=value | attr<value ... | not(condition)
+func (p *parser) parseCondition() (Condition, error) {
+	if keywordIs(p.peek(), "not") {
+		p.next()
+		if !p.at(tokLParen) {
+			return Condition{}, p.errf("expected '(' after NOT")
+		}
+		p.next()
+		inner, err := p.parseCondition()
+		if err != nil {
+			return Condition{}, err
+		}
+		if !p.at(tokRParen) {
+			return Condition{}, p.errf("expected ')' to close NOT(...)")
+		}
+		p.next()
+		inner.Negate = !inner.Negate
+		return inner, nil
+	}
+	attrName, err := p.expectLabel("attribute label")
+	if err != nil {
+		return Condition{}, err
+	}
+	cond := Condition{Attr: attrName, Op: CondExist}
+	switch p.peek().kind {
+	case tokEq:
+		cond.Op = CondEq
+	case tokNe:
+		cond.Op = CondEq
+		cond.Negate = true
+	case tokLt:
+		cond.Op = CondLt
+	case tokLe:
+		cond.Op = CondLe
+	case tokGt:
+		cond.Op = CondGt
+	case tokGe:
+		cond.Op = CondGe
+	default:
+		return cond, nil // bare existence test
+	}
+	p.next()
+	vt := p.peek()
+	if vt.kind != tokIdent && vt.kind != tokString && vt.kind != tokNumber {
+		return Condition{}, p.errf("expected comparison value, got %s", vt.kind)
+	}
+	p.next()
+	cond.Value = vt.text
+	return cond, nil
+}
+
+func (p *parser) parseWhere(q *Query) error {
+	for {
+		cond, err := p.parseCondition()
+		if err != nil {
+			return err
+		}
+		q.Where = append(q.Where, cond)
+		if !p.at(tokComma) {
+			return nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseOrderBy(q *Query) error {
+	for {
+		label, err := p.expectLabel("attribute label")
+		if err != nil {
+			return err
+		}
+		item := OrderItem{Label: label}
+		if keywordIs(p.peek(), "desc") {
+			item.Descending = true
+			p.next()
+		} else if keywordIs(p.peek(), "asc") {
+			p.next()
+		}
+		q.OrderBy = append(q.OrderBy, item)
+		if !p.at(tokComma) {
+			return nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseFormat(q *Query) error {
+	name, err := p.expectLabel("format name")
+	if err != nil {
+		return err
+	}
+	name = strings.ToLower(name)
+	if !knownFormats[name] {
+		return p.errf("unknown format %q", name)
+	}
+	q.Format.Kind = name
+	return nil
+}
+
+func (p *parser) parseLimit(q *Query) error {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return p.errf("LIMIT requires a number, got %q", t.text)
+	}
+	p.next()
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return p.errf("LIMIT requires a non-negative integer, got %q", t.text)
+	}
+	q.Limit = n
+	return nil
+}
+
+// parseLets parses "name = fn(args...)" definitions.
+func (p *parser) parseLets(q *Query) error {
+	for {
+		name, err := p.expectLabel("derived attribute name")
+		if err != nil {
+			return err
+		}
+		if !p.at(tokEq) {
+			return p.errf("expected '=' in LET definition")
+		}
+		p.next()
+		fn, err := p.expectLabel("LET operator (scale, truncate, first)")
+		if err != nil {
+			return err
+		}
+		def := LetDef{Name: name}
+		switch strings.ToLower(fn) {
+		case "scale":
+			def.Kind = LetScale
+		case "truncate":
+			def.Kind = LetTruncate
+		case "first":
+			def.Kind = LetFirst
+		default:
+			return p.errf("unknown LET operator %q", fn)
+		}
+		if !p.at(tokLParen) {
+			return p.errf("expected '(' after %s", fn)
+		}
+		p.next()
+		switch def.Kind {
+		case LetScale, LetTruncate:
+			label, err := p.expectLabel("attribute label")
+			if err != nil {
+				return err
+			}
+			def.Args = []string{label}
+			if !p.at(tokComma) {
+				return p.errf("%s(attr, factor) requires a numeric parameter", fn)
+			}
+			p.next()
+			nt := p.peek()
+			if nt.kind != tokNumber {
+				return p.errf("%s factor must be a number, got %q", fn, nt.text)
+			}
+			p.next()
+			f, err := strconv.ParseFloat(nt.text, 64)
+			if err != nil {
+				return p.errf("bad number %q", nt.text)
+			}
+			if def.Kind == LetTruncate && f <= 0 {
+				return p.errf("truncate step must be positive")
+			}
+			def.Factor = f
+		case LetFirst:
+			for {
+				label, err := p.expectLabel("attribute label")
+				if err != nil {
+					return err
+				}
+				def.Args = append(def.Args, label)
+				if !p.at(tokComma) {
+					break
+				}
+				p.next()
+			}
+			if len(def.Args) == 0 {
+				return p.errf("first() requires at least one attribute")
+			}
+		}
+		if !p.at(tokRParen) {
+			return p.errf("expected ')' to close %s(...)", fn)
+		}
+		p.next()
+		q.Lets = append(q.Lets, def)
+		if !p.at(tokComma) {
+			return nil
+		}
+		p.next()
+	}
+}
+
+// validate performs semantic checks after parsing, and normalizes
+// post-aggregation operators: percent_total(x)/ratio(x,y) over an
+// aggregating query implicitly add sum(x)/sum(y) reductions when no
+// operator already produces the referenced columns.
+func validate(q *Query) error {
+	if len(q.PostOps) > 0 {
+		produced := map[string]bool{}
+		for _, o := range q.Ops {
+			produced[o.ResultName()] = true
+		}
+		ensure := func(target string) {
+			if target == "" || produced[target] || produced["sum#"+target] {
+				return
+			}
+			// only add an implicit reduction when the query aggregates;
+			// non-aggregating queries read the column off raw rows
+			if len(q.Ops) == 0 && len(q.GroupBy) == 0 {
+				return
+			}
+			spec := core.OpSpec{Kind: core.OpSum, Target: target}
+			q.Ops = append(q.Ops, spec)
+			produced[spec.ResultName()] = true
+		}
+		for _, po := range q.PostOps {
+			ensure(po.Target)
+			ensure(po.Target2)
+		}
+	}
+	if len(q.GroupBy) > 0 && len(q.Ops) == 0 {
+		return fmt.Errorf("calql: GROUP BY requires an AGGREGATE clause")
+	}
+	if len(q.Ops) > 0 {
+		if _, err := core.NewScheme(q.GroupBy, q.Ops); err != nil {
+			return err
+		}
+	}
+	seen := map[string]bool{}
+	for _, l := range q.Lets {
+		if seen[l.Name] {
+			return fmt.Errorf("calql: duplicate LET definition %q", l.Name)
+		}
+		seen[l.Name] = true
+	}
+	// When aggregating, projection labels must refer to key attributes,
+	// result names, or LET-derived names.
+	if len(q.Ops) > 0 && len(q.Select) > 0 {
+		valid := map[string]bool{}
+		for _, k := range q.GroupBy {
+			valid[k] = true
+		}
+		for _, o := range q.Ops {
+			valid[o.ResultName()] = true
+		}
+		for _, po := range q.PostOps {
+			valid[po.ResultName()] = true
+		}
+		for _, l := range q.Lets {
+			valid[l.Name] = true
+		}
+		for _, s := range q.Select {
+			if s.Star {
+				continue
+			}
+			if !valid[s.Label] {
+				return fmt.Errorf("calql: SELECT %q: not a key attribute or aggregation result of this query", s.Label)
+			}
+		}
+	}
+	return nil
+}

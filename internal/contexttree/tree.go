@@ -1,0 +1,230 @@
+// Package contexttree implements Caliper's generic context tree: a tree of
+// (attribute, value) nodes used to compress snapshot records and to encode
+// metadata in the .cali stream format.
+//
+// Each node represents one attribute:value pair; a path from the root to a
+// node represents an ordered list of such pairs. Snapshot records then only
+// need to store a single node reference instead of the full list, which is
+// the compression scheme the paper's runtime relies on ("a compressed copy
+// of the current blackboard contents", Section IV-A).
+package contexttree
+
+import (
+	"fmt"
+	"sync"
+
+	"caligo/internal/attr"
+)
+
+// NodeID references a node within a Tree. IDs are dense, starting at 0.
+type NodeID int32
+
+// InvalidNode marks "no node" (an empty path).
+const InvalidNode NodeID = -1
+
+// node is the internal tree node representation. Children are kept in a
+// per-node map keyed by (attribute, value) for O(1) child lookup.
+type node struct {
+	id     NodeID
+	parent NodeID
+	attr   attr.ID
+	value  attr.Variant
+}
+
+type childKey struct {
+	attr  attr.ID
+	value attr.Variant
+}
+
+// Tree is an append-only context tree. Nodes are never removed, so NodeIDs
+// remain valid for the lifetime of the tree. All methods are safe for
+// concurrent use.
+type Tree struct {
+	mu       sync.RWMutex
+	nodes    []node
+	children map[NodeID]map[childKey]NodeID
+}
+
+// New returns an empty context tree.
+func New() *Tree {
+	return &Tree{children: map[NodeID]map[childKey]NodeID{}}
+}
+
+// Len returns the number of nodes in the tree.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.nodes)
+}
+
+// GetChild finds or creates the child of parent carrying (a, v) and returns
+// its id. Pass InvalidNode as parent for a root-level node.
+func (t *Tree) GetChild(parent NodeID, a attr.Attribute, v attr.Variant) NodeID {
+	key := childKey{attr: a.ID(), value: v}
+
+	t.mu.RLock()
+	if m, ok := t.children[parent]; ok {
+		if id, ok := m[key]; ok {
+			t.mu.RUnlock()
+			return id
+		}
+	}
+	t.mu.RUnlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.children[parent]
+	if !ok {
+		m = map[childKey]NodeID{}
+		t.children[parent] = m
+	}
+	if id, ok := m[key]; ok { // lost the race; someone created it
+		return id
+	}
+	id := NodeID(len(t.nodes))
+	t.nodes = append(t.nodes, node{id: id, parent: parent, attr: a.ID(), value: v})
+	m[key] = id
+	return id
+}
+
+// GetPath finds or creates the node representing the path of entries below
+// parent, chaining one node per entry, and returns the deepest node.
+func (t *Tree) GetPath(parent NodeID, entries []attr.Entry) NodeID {
+	n := parent
+	for _, e := range entries {
+		n = t.GetChild(n, e.Attr, e.Value)
+	}
+	return n
+}
+
+// Parent returns the parent node id, or InvalidNode for roots.
+func (t *Tree) Parent(id NodeID) NodeID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || int(id) >= len(t.nodes) {
+		return InvalidNode
+	}
+	return t.nodes[id].parent
+}
+
+// Entry returns the (attribute id, value) pair stored at a node.
+func (t *Tree) Entry(id NodeID) (attr.ID, attr.Variant, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || int(id) >= len(t.nodes) {
+		return attr.InvalidID, attr.Variant{}, fmt.Errorf("contexttree: invalid node id %d", id)
+	}
+	n := t.nodes[id]
+	return n.attr, n.value, nil
+}
+
+// Path returns the entries on the path from the root down to id, in
+// root-to-node order, resolving attribute ids through reg.
+func (t *Tree) Path(id NodeID, reg *attr.Registry) ([]attr.Entry, error) {
+	var rev []attr.Entry
+	t.mu.RLock()
+	for id != InvalidNode {
+		if id < 0 || int(id) >= len(t.nodes) {
+			t.mu.RUnlock()
+			return nil, fmt.Errorf("contexttree: invalid node id %d", id)
+		}
+		n := t.nodes[id]
+		a, ok := reg.Get(n.attr)
+		if !ok {
+			t.mu.RUnlock()
+			return nil, fmt.Errorf("contexttree: node %d references unknown attribute %d", id, n.attr)
+		}
+		rev = append(rev, attr.Entry{Attr: a, Value: n.value})
+		id = n.parent
+	}
+	t.mu.RUnlock()
+	// reverse to root-first order
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// FindInPath walks from id toward the root and returns the first (deepest)
+// value recorded for attribute a, if any.
+func (t *Tree) FindInPath(id NodeID, a attr.ID) (attr.Variant, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for id != InvalidNode && int(id) < len(t.nodes) && id >= 0 {
+		n := t.nodes[id]
+		if n.attr == a {
+			return n.value, true
+		}
+		id = n.parent
+	}
+	return attr.Variant{}, false
+}
+
+// ValuesInPath walks from id toward the root and returns all values
+// recorded for attribute a, ordered root-first (outermost first).
+func (t *Tree) ValuesInPath(id NodeID, a attr.ID) []attr.Variant {
+	var rev []attr.Variant
+	t.mu.RLock()
+	for id != InvalidNode && int(id) < len(t.nodes) && id >= 0 {
+		n := t.nodes[id]
+		if n.attr == a {
+			rev = append(rev, n.value)
+		}
+		id = n.parent
+	}
+	t.mu.RUnlock()
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Node is an exported view of one tree node, used by encoders.
+type Node struct {
+	ID     NodeID
+	Parent NodeID
+	Attr   attr.ID
+	Value  attr.Variant
+}
+
+// NodesFrom returns exported views of all nodes with id >= start, in id
+// order. Encoders use this to write only nodes added since the last flush.
+func (t *Tree) NodesFrom(start NodeID) []Node {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if start < 0 {
+		start = 0
+	}
+	if int(start) >= len(t.nodes) {
+		return nil
+	}
+	out := make([]Node, 0, len(t.nodes)-int(start))
+	for _, n := range t.nodes[start:] {
+		out = append(out, Node{ID: n.id, Parent: n.parent, Attr: n.attr, Value: n.value})
+	}
+	return out
+}
+
+// AddRaw appends a node with explicit parent/attribute/value, used by
+// decoders reconstructing a tree from a stream. The node is registered in
+// the child index so later GetChild calls can reuse it. It returns the new
+// node's id. Parent must already exist (or be InvalidNode).
+func (t *Tree) AddRaw(parent NodeID, a attr.ID, v attr.Variant) (NodeID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if parent != InvalidNode && (parent < 0 || int(parent) >= len(t.nodes)) {
+		return InvalidNode, fmt.Errorf("contexttree: AddRaw: parent %d does not exist", parent)
+	}
+	id := NodeID(len(t.nodes))
+	t.nodes = append(t.nodes, node{id: id, parent: parent, attr: a, value: v})
+	m, ok := t.children[parent]
+	if !ok {
+		m = map[childKey]NodeID{}
+		t.children[parent] = m
+	}
+	key := childKey{attr: a, value: v}
+	if _, exists := m[key]; !exists {
+		m[key] = id
+	}
+	return id, nil
+}

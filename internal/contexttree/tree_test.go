@@ -1,0 +1,250 @@
+package contexttree
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"caligo/internal/attr"
+)
+
+func testReg(t *testing.T) (*attr.Registry, attr.Attribute, attr.Attribute, attr.Attribute) {
+	t.Helper()
+	reg := attr.NewRegistry()
+	fn := reg.MustCreate("function", attr.String, attr.Nested)
+	loop := reg.MustCreate("loop", attr.String, attr.Nested)
+	iter := reg.MustCreate("iteration", attr.Int, 0)
+	return reg, fn, loop, iter
+}
+
+func TestGetChildDeduplicates(t *testing.T) {
+	_, fn, _, _ := testReg(t)
+	tree := New()
+	a := tree.GetChild(InvalidNode, fn, attr.StringV("main"))
+	b := tree.GetChild(InvalidNode, fn, attr.StringV("main"))
+	if a != b {
+		t.Errorf("same (parent,attr,value) produced different nodes: %d vs %d", a, b)
+	}
+	c := tree.GetChild(InvalidNode, fn, attr.StringV("foo"))
+	if c == a {
+		t.Error("different values must produce different nodes")
+	}
+	d := tree.GetChild(a, fn, attr.StringV("foo"))
+	if d == c {
+		t.Error("same pair under different parents must produce different nodes")
+	}
+	if tree.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tree.Len())
+	}
+}
+
+func TestPathRoundTrip(t *testing.T) {
+	reg, fn, loop, iter := testReg(t)
+	tree := New()
+	entries := []attr.Entry{
+		{Attr: fn, Value: attr.StringV("main")},
+		{Attr: loop, Value: attr.StringV("mainloop")},
+		{Attr: iter, Value: attr.IntV(17)},
+		{Attr: fn, Value: attr.StringV("foo")},
+	}
+	n := tree.GetPath(InvalidNode, entries)
+	got, err := tree.Path(n, reg)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("Path len = %d, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i].Attr.ID() != entries[i].Attr.ID() || got[i].Value != entries[i].Value {
+			t.Errorf("Path[%d] = %v, want %v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestPathOfInvalidNode(t *testing.T) {
+	reg, _, _, _ := testReg(t)
+	tree := New()
+	p, err := tree.Path(InvalidNode, reg)
+	if err != nil || len(p) != 0 {
+		t.Errorf("Path(InvalidNode) = %v,%v; want empty,nil", p, err)
+	}
+	if _, err := tree.Path(42, reg); err == nil {
+		t.Error("Path of nonexistent node should error")
+	}
+}
+
+func TestFindInPath(t *testing.T) {
+	_, fn, loop, iter := testReg(t)
+	tree := New()
+	n := tree.GetPath(InvalidNode, []attr.Entry{
+		{Attr: fn, Value: attr.StringV("main")},
+		{Attr: loop, Value: attr.StringV("l")},
+		{Attr: fn, Value: attr.StringV("foo")},
+	})
+	v, ok := tree.FindInPath(n, fn.ID())
+	if !ok || v.String() != "foo" {
+		t.Errorf("FindInPath(fn) = %v,%v; want foo (deepest wins)", v, ok)
+	}
+	v, ok = tree.FindInPath(n, loop.ID())
+	if !ok || v.String() != "l" {
+		t.Errorf("FindInPath(loop) = %v,%v", v, ok)
+	}
+	if _, ok := tree.FindInPath(n, iter.ID()); ok {
+		t.Error("FindInPath should miss for absent attribute")
+	}
+}
+
+func TestValuesInPath(t *testing.T) {
+	_, fn, _, _ := testReg(t)
+	tree := New()
+	n := tree.GetPath(InvalidNode, []attr.Entry{
+		{Attr: fn, Value: attr.StringV("main")},
+		{Attr: fn, Value: attr.StringV("foo")},
+		{Attr: fn, Value: attr.StringV("bar")},
+	})
+	vals := tree.ValuesInPath(n, fn.ID())
+	if len(vals) != 3 || vals[0].String() != "main" || vals[2].String() != "bar" {
+		t.Errorf("ValuesInPath = %v, want [main foo bar]", vals)
+	}
+}
+
+func TestEntryAndParent(t *testing.T) {
+	_, fn, _, _ := testReg(t)
+	tree := New()
+	root := tree.GetChild(InvalidNode, fn, attr.StringV("main"))
+	child := tree.GetChild(root, fn, attr.StringV("foo"))
+	aid, v, err := tree.Entry(child)
+	if err != nil || aid != fn.ID() || v.String() != "foo" {
+		t.Errorf("Entry = %v,%v,%v", aid, v, err)
+	}
+	if tree.Parent(child) != root {
+		t.Errorf("Parent(child) = %d, want %d", tree.Parent(child), root)
+	}
+	if tree.Parent(root) != InvalidNode {
+		t.Error("root parent should be InvalidNode")
+	}
+	if tree.Parent(99) != InvalidNode {
+		t.Error("out-of-range parent should be InvalidNode")
+	}
+	if _, _, err := tree.Entry(99); err == nil {
+		t.Error("Entry out-of-range should error")
+	}
+}
+
+func TestNodesFromAndAddRaw(t *testing.T) {
+	_, fn, loop, _ := testReg(t)
+	tree := New()
+	tree.GetChild(InvalidNode, fn, attr.StringV("a"))
+	n1 := tree.GetChild(InvalidNode, loop, attr.StringV("b"))
+	nodes := tree.NodesFrom(0)
+	if len(nodes) != 2 {
+		t.Fatalf("NodesFrom(0) len = %d, want 2", len(nodes))
+	}
+	nodes = tree.NodesFrom(n1)
+	if len(nodes) != 1 || nodes[0].Value.String() != "b" {
+		t.Errorf("NodesFrom(%d) = %v", n1, nodes)
+	}
+	if got := tree.NodesFrom(100); got != nil {
+		t.Errorf("NodesFrom past end = %v, want nil", got)
+	}
+	if got := tree.NodesFrom(-5); len(got) != 2 {
+		t.Errorf("NodesFrom(-5) len = %d, want 2", len(got))
+	}
+
+	// Rebuild via AddRaw in a fresh tree
+	tree2 := New()
+	for _, n := range tree.NodesFrom(0) {
+		id, err := tree2.AddRaw(n.Parent, n.Attr, n.Value)
+		if err != nil {
+			t.Fatalf("AddRaw: %v", err)
+		}
+		if id != n.ID {
+			t.Errorf("AddRaw id = %d, want %d", id, n.ID)
+		}
+	}
+	// Child index must be usable: GetChild should find the existing node.
+	if got := tree2.GetChild(InvalidNode, fn, attr.StringV("a")); got != 0 {
+		t.Errorf("GetChild after AddRaw = %d, want 0", got)
+	}
+	if _, err := tree2.AddRaw(57, fn.ID(), attr.StringV("x")); err == nil {
+		t.Error("AddRaw with missing parent should error")
+	}
+}
+
+func TestConcurrentGetChild(t *testing.T) {
+	_, fn, _, iter := testReg(t)
+	tree := New()
+	var wg sync.WaitGroup
+	results := make([][]NodeID, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]NodeID, 50)
+			for i := 0; i < 50; i++ {
+				parent := tree.GetChild(InvalidNode, fn, attr.StringV(fmt.Sprintf("f%d", i%10)))
+				ids[i] = tree.GetChild(parent, iter, attr.IntV(int64(i%5)))
+			}
+			results[g] = ids
+		}(g)
+	}
+	wg.Wait()
+	// All goroutines must agree on node ids for identical paths.
+	for g := 1; g < 8; g++ {
+		for i := range results[0] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d got node %d for path %d, goroutine 0 got %d",
+					g, results[g][i], i, results[0][i])
+			}
+		}
+	}
+	// 10 parents, and since i%5 is determined by i%10, one child each.
+	if tree.Len() != 20 {
+		t.Errorf("Len = %d, want 20", tree.Len())
+	}
+}
+
+func TestQuickPathRoundTrip(t *testing.T) {
+	reg := attr.NewRegistry()
+	attrs := []attr.Attribute{
+		reg.MustCreate("a", attr.String, 0),
+		reg.MustCreate("b", attr.Int, 0),
+		reg.MustCreate("c", attr.Float, 0),
+	}
+	tree := New()
+	f := func(sel []uint8, ival int64, sval string) bool {
+		if len(sel) > 12 {
+			sel = sel[:12]
+		}
+		var entries []attr.Entry
+		for _, s := range sel {
+			a := attrs[int(s)%len(attrs)]
+			var v attr.Variant
+			switch a.Type() {
+			case attr.String:
+				v = attr.StringV(sval)
+			case attr.Int:
+				v = attr.IntV(ival)
+			default:
+				v = attr.FloatV(float64(ival) / 2)
+			}
+			entries = append(entries, attr.Entry{Attr: a, Value: v})
+		}
+		n := tree.GetPath(InvalidNode, entries)
+		got, err := tree.Path(n, reg)
+		if err != nil || len(got) != len(entries) {
+			return false
+		}
+		for i := range entries {
+			if got[i].Attr.ID() != entries[i].Attr.ID() || got[i].Value != entries[i].Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

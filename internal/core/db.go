@@ -1,0 +1,546 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"caligo/internal/attr"
+	"caligo/internal/snapshot"
+)
+
+// DB is the in-memory aggregation database of Section IV-B: it keeps one
+// aggregation record per unique set of key-attribute values, identified by
+// a compact, collision-free key encoding, and updates the records with
+// streaming reduction operators.
+//
+// A DB is owned by a single thread of execution (Caliper keeps one per
+// monitored thread to avoid locks); it is not safe for concurrent use.
+// Cross-thread and cross-process totals are obtained by merging DBs.
+type DB struct {
+	scheme *Scheme
+	reg    *attr.Registry
+
+	buckets map[string]*bucket
+
+	// roles caches, per attribute id, how the attribute participates in
+	// the scheme. Grown lazily as new attribute ids appear.
+	roles []role
+
+	// scratch state reused across Update calls to avoid allocation.
+	keyVals [][]attr.Variant // per key position: observed values in order
+	opVal   []attr.Variant   // per op: innermost direct target value
+	opHas   []bool
+	reVal   []attr.Variant // per op: innermost pre-aggregated (re-agg) value
+	reHas   []bool
+	keyBuf  []byte
+
+	processed uint64
+
+	// wireTypes records target types received in encoded state, used when
+	// the local registry has never seen the target attribute (cross-process
+	// reduction at a root that only handles pre-aggregated data).
+	wireTypes []attr.Type
+	// wireNested records key-attribute nested flags received in encoded
+	// state (index = key position; 0 = unknown, 2 = known, 3 = nested).
+	wireNested []byte
+}
+
+// role describes one attribute's participation in the scheme.
+type role struct {
+	resolved bool
+	keyPos   int16 // position in scheme.Key, or -1
+	targetOf []int // ops for which this attribute is the direct target
+	reaggOf  []int // ops for which this attribute is the pre-aggregated result
+}
+
+// bucket is one aggregation record: the reconstructed key entries and the
+// accumulator state per operator.
+type bucket struct {
+	// keyGroups holds, per scheme key position that was present, the
+	// position and its value path.
+	keyGroups []keyGroup
+	accs      []accum
+}
+
+type keyGroup struct {
+	pos    int
+	values []attr.Variant
+}
+
+// NewDB returns an empty aggregation database for the given scheme.
+// Result attributes are created in reg at flush time.
+func NewDB(scheme *Scheme, reg *attr.Registry) (*DB, error) {
+	if err := scheme.Validate(); err != nil {
+		return nil, err
+	}
+	return &DB{
+		scheme:  scheme,
+		reg:     reg,
+		buckets: map[string]*bucket{},
+		keyVals: make([][]attr.Variant, len(scheme.Key)),
+		opVal:   make([]attr.Variant, len(scheme.Ops)),
+		opHas:   make([]bool, len(scheme.Ops)),
+		reVal:   make([]attr.Variant, len(scheme.Ops)),
+		reHas:   make([]bool, len(scheme.Ops)),
+	}, nil
+}
+
+// Scheme returns the database's aggregation scheme.
+func (db *DB) Scheme() *Scheme { return db.scheme }
+
+// Len returns the number of aggregation records (unique keys).
+func (db *DB) Len() int { return len(db.buckets) }
+
+// Processed returns the number of input records aggregated so far.
+func (db *DB) Processed() uint64 { return db.processed }
+
+// resolveRole computes the scheme role of one attribute.
+func (db *DB) resolveRole(a attr.Attribute) role {
+	r := role{resolved: true, keyPos: -1}
+	name := a.Name()
+	for i, k := range db.scheme.Key {
+		if k == name {
+			r.keyPos = int16(i)
+			break
+		}
+	}
+	for i, op := range db.scheme.Ops {
+		if op.Kind.NeedsTarget() && op.Target == name {
+			r.targetOf = append(r.targetOf, i)
+		}
+		// pre-aggregated result names compose re-aggregation:
+		// count <- aggregate.count, sum(x) <- sum#x, min(x) <- min#x, ...
+		switch op.Kind {
+		case OpCount:
+			if name == CountResultName {
+				r.reaggOf = append(r.reaggOf, i)
+			}
+		case OpSum, OpMin, OpMax, OpScount, OpInclusiveSum:
+			if name == op.Kind.String()+"#"+op.Target {
+				r.reaggOf = append(r.reaggOf, i)
+			}
+		}
+	}
+	return r
+}
+
+// roleOf returns the cached role for an attribute, resolving it on first
+// encounter.
+func (db *DB) roleOf(a attr.Attribute) *role {
+	id := int(a.ID())
+	if id >= len(db.roles) {
+		grown := make([]role, id+16)
+		copy(grown, db.roles)
+		db.roles = grown
+	}
+	r := &db.roles[id]
+	if !r.resolved {
+		*r = db.resolveRole(a)
+	}
+	return r
+}
+
+// Update folds one record into the database: it extracts the key and
+// aggregation attributes, locates the aggregation record for the key
+// (creating it if needed), and applies the reduction operators
+// (the workflow of Figure 2).
+func (db *DB) Update(rec snapshot.FlatRecord) {
+	db.processed++
+
+	// reset scratch
+	for i := range db.keyVals {
+		db.keyVals[i] = db.keyVals[i][:0]
+	}
+	for i := range db.opHas {
+		db.opHas[i] = false
+		db.reHas[i] = false
+	}
+
+	// single pass: classify each entry by its attribute's role
+	for _, e := range rec {
+		r := db.roleOf(e.Attr)
+		if r.keyPos >= 0 {
+			db.keyVals[r.keyPos] = append(db.keyVals[r.keyPos], e.Value)
+		}
+		for _, i := range r.targetOf {
+			db.opVal[i] = e.Value // innermost (last) wins
+			db.opHas[i] = true
+		}
+		for _, i := range r.reaggOf {
+			db.reVal[i] = e.Value
+			db.reHas[i] = true
+		}
+	}
+
+	b := db.bucketFor()
+
+	// apply operators
+	for i := range db.scheme.Ops {
+		spec := &db.scheme.Ops[i]
+		acc := &b.accs[i]
+		switch spec.Kind {
+		case OpCount:
+			if db.reHas[i] {
+				acc.update(spec, db.reVal[i]) // sum pre-aggregated counts
+			} else {
+				acc.update(spec, attr.UintV(1))
+			}
+		case OpScount:
+			if db.opHas[i] {
+				acc.update(spec, attr.UintV(1))
+			} else if db.reHas[i] {
+				acc.update(spec, db.reVal[i])
+			}
+		case OpSum, OpMin, OpMax, OpInclusiveSum:
+			if db.opHas[i] {
+				acc.update(spec, db.opVal[i])
+			} else if db.reHas[i] {
+				acc.update(spec, db.reVal[i])
+			}
+		default: // avg, stddev, histogram: direct observations only
+			if db.opHas[i] {
+				acc.update(spec, db.opVal[i])
+			}
+		}
+	}
+}
+
+// bucketFor computes the collision-free key encoding from the scratch key
+// values and returns the bucket, creating it if needed.
+//
+// The encoding writes, for each key position that has values, the position
+// index followed by the value count and the self-delimiting variant
+// encodings. It is injective per scheme: equal encodings imply equal key
+// paths, which makes key reconstruction at flush time exact (the paper's
+// "compact, collision-free hash value").
+func (db *DB) bucketFor() *bucket {
+	db.keyBuf = db.keyBuf[:0]
+	for pos, vals := range db.keyVals {
+		if len(vals) == 0 {
+			continue
+		}
+		db.keyBuf = binary.AppendUvarint(db.keyBuf, uint64(pos))
+		db.keyBuf = binary.AppendUvarint(db.keyBuf, uint64(len(vals)))
+		for _, v := range vals {
+			db.keyBuf = v.AppendEncoded(db.keyBuf)
+		}
+	}
+	if b, ok := db.buckets[string(db.keyBuf)]; ok {
+		return b
+	}
+	b := &bucket{accs: make([]accum, len(db.scheme.Ops))}
+	for pos, vals := range db.keyVals {
+		if len(vals) == 0 {
+			continue
+		}
+		b.keyGroups = append(b.keyGroups, keyGroup{
+			pos:    pos,
+			values: append([]attr.Variant(nil), vals...),
+		})
+	}
+	db.buckets[string(db.keyBuf)] = b
+	return b
+}
+
+// mergeBucket folds an external bucket (with portable key groups) into the
+// database, reconstructing the canonical key encoding locally.
+func (db *DB) mergeBucket(groups []keyGroup, accs []accum) error {
+	if len(accs) != len(db.scheme.Ops) {
+		return fmt.Errorf("core: merge: accumulator count %d does not match scheme (%d ops)",
+			len(accs), len(db.scheme.Ops))
+	}
+	db.keyBuf = db.keyBuf[:0]
+	for _, g := range groups {
+		if g.pos < 0 || g.pos >= len(db.scheme.Key) {
+			return fmt.Errorf("core: merge: key position %d out of range", g.pos)
+		}
+		db.keyBuf = binary.AppendUvarint(db.keyBuf, uint64(g.pos))
+		db.keyBuf = binary.AppendUvarint(db.keyBuf, uint64(len(g.values)))
+		for _, v := range g.values {
+			db.keyBuf = v.AppendEncoded(db.keyBuf)
+		}
+	}
+	b, ok := db.buckets[string(db.keyBuf)]
+	if !ok {
+		b = &bucket{
+			keyGroups: make([]keyGroup, len(groups)),
+			accs:      make([]accum, len(db.scheme.Ops)),
+		}
+		for i, g := range groups {
+			b.keyGroups[i] = keyGroup{pos: g.pos, values: append([]attr.Variant(nil), g.values...)}
+		}
+		db.buckets[string(db.keyBuf)] = b
+	}
+	for i := range accs {
+		b.accs[i].merge(&db.scheme.Ops[i], &accs[i])
+	}
+	return nil
+}
+
+// Merge folds all aggregation records of other into db. Both databases
+// must use equal schemes. other is left unchanged.
+func (db *DB) Merge(other *DB) error {
+	if !db.scheme.Equal(other.scheme) {
+		return fmt.Errorf("core: merge: schemes differ: %q vs %q", db.scheme, other.scheme)
+	}
+	// iterate deterministically for reproducible error behaviour
+	keys := make([]string, 0, len(other.buckets))
+	for k := range other.buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := other.buckets[k]
+		if err := db.mergeBucket(b.keyGroups, b.accs); err != nil {
+			return err
+		}
+	}
+	db.processed += other.processed
+	return nil
+}
+
+// noteWireNested records a key attribute's nested flag from encoded state.
+func (db *DB) noteWireNested(keyPos int, flag byte) {
+	if keyPos < 0 || keyPos >= len(db.scheme.Key) || flag&2 == 0 {
+		return
+	}
+	if db.wireNested == nil {
+		db.wireNested = make([]byte, len(db.scheme.Key))
+	}
+	db.wireNested[keyPos] = flag
+}
+
+// keyIsNested reports whether the key attribute at a position has nested
+// (hierarchical) semantics, consulting the local registry first and then
+// metadata received over the wire.
+func (db *DB) keyIsNested(pos int, keyAttrs []attr.Attribute) bool {
+	if keyAttrs[pos].IsValid() {
+		return keyAttrs[pos].IsNested()
+	}
+	if db.wireNested != nil && db.wireNested[pos]&2 != 0 {
+		return db.wireNested[pos]&1 != 0
+	}
+	return false
+}
+
+// noteWireType records a target type received in encoded state.
+func (db *DB) noteWireType(opIndex int, t attr.Type) {
+	if opIndex < 0 || opIndex >= len(db.scheme.Ops) || t == attr.Inv {
+		return
+	}
+	if db.wireTypes == nil {
+		db.wireTypes = make([]attr.Type, len(db.scheme.Ops))
+	}
+	db.wireTypes[opIndex] = t
+}
+
+// resolveTargetType finds the output type basis for an operator: the target
+// attribute's type if registered, else the pre-aggregated result
+// attribute's type, else a type learned from received encoded state, else
+// Float.
+func (db *DB) resolveTargetType(op *OpSpec) attr.Type {
+	if !op.Kind.NeedsTarget() {
+		return attr.Uint
+	}
+	if a, ok := db.reg.Find(op.Target); ok {
+		return a.Type()
+	}
+	if a, ok := db.reg.Find(op.Kind.String() + "#" + op.Target); ok {
+		return a.Type()
+	}
+	if db.wireTypes != nil {
+		for i := range db.scheme.Ops {
+			if &db.scheme.Ops[i] == op && db.wireTypes[i] != attr.Inv {
+				return db.wireTypes[i]
+			}
+		}
+	}
+	return attr.Float
+}
+
+// Flush reconstructs the key attributes of every aggregation record,
+// appends the reduction results, and emits one output record per unique
+// key through emit, ordered deterministically by key encoding. The
+// database contents are retained (call Clear to reset).
+//
+// Result attributes (e.g. "aggregate.count", "sum#time.duration") are
+// created in the registry with AsValue|Aggregatable|SkipEvents properties.
+func (db *DB) Flush(emit func(snapshot.FlatRecord) error) error {
+	// create result attributes once
+	resAttrs := make([]attr.Attribute, len(db.scheme.Ops))
+	resTypes := make([]attr.Type, len(db.scheme.Ops))
+	for i := range db.scheme.Ops {
+		op := &db.scheme.Ops[i]
+		tt := db.resolveTargetType(op)
+		resTypes[i] = tt
+		a, err := db.reg.Create(op.ResultName(), op.ResultType(tt),
+			attr.AsValue|attr.Aggregatable|attr.SkipEvents)
+		if err != nil {
+			return fmt.Errorf("core: flush: %w", err)
+		}
+		resAttrs[i] = a
+	}
+	keyAttrs := make([]attr.Attribute, len(db.scheme.Key))
+	// key attributes may or may not be registered; leave invalid handles
+	// for positions we never saw (their groups are empty anyway).
+	for i, name := range db.scheme.Key {
+		if a, ok := db.reg.Find(name); ok {
+			keyAttrs[i] = a
+		} else {
+			keyAttrs[i] = attr.Attribute{}
+		}
+	}
+
+	keys := make([]string, 0, len(db.buckets))
+	for k := range db.buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	inclusive := db.inclusiveAdditions(keys, keyAttrs)
+
+	for _, k := range keys {
+		b := db.buckets[k]
+		rec := make(snapshot.FlatRecord, 0, len(b.keyGroups)+len(db.scheme.Ops))
+		for _, g := range b.keyGroups {
+			ka := keyAttrs[g.pos]
+			if !ka.IsValid() {
+				// the attribute must exist if values were observed; recover
+				// by creating it from the first value's type, preserving
+				// nested semantics received over the wire
+				var props attr.Properties
+				if db.keyIsNested(g.pos, keyAttrs) {
+					props = attr.Nested
+				}
+				a, err := db.reg.Create(db.scheme.Key[g.pos], g.values[0].Kind(), props)
+				if err != nil {
+					return fmt.Errorf("core: flush: reconstruct key attribute: %w", err)
+				}
+				keyAttrs[g.pos] = a
+				ka = a
+			}
+			for _, v := range g.values {
+				rec = append(rec, attr.Entry{Attr: ka, Value: v})
+			}
+		}
+		for i := range db.scheme.Ops {
+			acc := &b.accs[i]
+			if add, ok := inclusive[k]; ok && db.scheme.Ops[i].Kind == OpInclusiveSum {
+				acc = &add[i]
+			}
+			if v, ok := acc.result(&db.scheme.Ops[i], resTypes[i]); ok {
+				rec = append(rec, attr.Entry{Attr: resAttrs[i], Value: v})
+			}
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// inclusiveAdditions computes, for schemes with inclusive_sum operators,
+// the effective accumulators of every bucket: its own plus those of all
+// descendant buckets. Bucket A is an ancestor of bucket B when, for every
+// key attribute, A's value path equals B's — except along nested
+// (hierarchical) attributes, where A's path may be a proper prefix of
+// B's. This turns the exclusive per-path sums into inclusive region
+// totals, as in Caliper's inclusive metrics. Returns nil when the scheme
+// has no inclusive operators.
+func (db *DB) inclusiveAdditions(keys []string, keyAttrs []attr.Attribute) map[string][]accum {
+	hasInclusive := false
+	for i := range db.scheme.Ops {
+		if db.scheme.Ops[i].Kind == OpInclusiveSum {
+			hasInclusive = true
+			break
+		}
+	}
+	if !hasInclusive || len(db.buckets) == 0 {
+		return nil
+	}
+	nested := make([]bool, len(db.scheme.Key))
+	for i := range db.scheme.Key {
+		nested[i] = db.keyIsNested(i, keyAttrs)
+	}
+	// value paths per bucket per key position, nil when absent
+	paths := func(b *bucket) [][]attr.Variant {
+		out := make([][]attr.Variant, len(db.scheme.Key))
+		for _, g := range b.keyGroups {
+			out[g.pos] = g.values
+		}
+		return out
+	}
+	isPrefix := func(a, b []attr.Variant) bool {
+		if len(a) > len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	ancestor := func(pa, pb [][]attr.Variant) bool {
+		proper := false
+		for p := range pa {
+			if nested[p] {
+				if !isPrefix(pa[p], pb[p]) {
+					return false
+				}
+				if len(pa[p]) < len(pb[p]) {
+					proper = true
+				}
+				continue
+			}
+			if len(pa[p]) != len(pb[p]) || !isPrefix(pa[p], pb[p]) {
+				return false
+			}
+		}
+		return proper
+	}
+
+	allPaths := make([][][]attr.Variant, len(keys))
+	for i, k := range keys {
+		allPaths[i] = paths(db.buckets[k])
+	}
+	out := make(map[string][]accum, len(keys))
+	for _, k := range keys {
+		eff := make([]accum, len(db.scheme.Ops))
+		copy(eff, db.buckets[k].accs)
+		out[k] = eff
+	}
+	for i, ka := range keys {
+		for j, kb := range keys {
+			if i == j || !ancestor(allPaths[i], allPaths[j]) {
+				continue
+			}
+			eff := out[ka]
+			src := db.buckets[kb]
+			for oi := range db.scheme.Ops {
+				if db.scheme.Ops[oi].Kind == OpInclusiveSum {
+					eff[oi].merge(&db.scheme.Ops[oi], &src.accs[oi])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FlushRecords is Flush collecting the output records into a slice.
+func (db *DB) FlushRecords() ([]snapshot.FlatRecord, error) {
+	var out []snapshot.FlatRecord
+	err := db.Flush(func(r snapshot.FlatRecord) error {
+		out = append(out, r)
+		return nil
+	})
+	return out, err
+}
+
+// Clear removes all aggregation records and resets counters. Role caches
+// are retained.
+func (db *DB) Clear() {
+	db.buckets = map[string]*bucket{}
+	db.processed = 0
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+
+	"caligo/internal/attr"
+	"caligo/internal/snapshot"
+)
+
+// inclusiveFixture builds a registry with a nested function attribute and
+// a plain rank attribute.
+type inclusiveFixture struct {
+	reg  *attr.Registry
+	fn   attr.Attribute
+	rank attr.Attribute
+	dur  attr.Attribute
+}
+
+func newInclusiveFixture(t *testing.T) *inclusiveFixture {
+	t.Helper()
+	reg := attr.NewRegistry()
+	return &inclusiveFixture{
+		reg:  reg,
+		fn:   reg.MustCreate("function", attr.String, attr.Nested),
+		rank: reg.MustCreate("mpi.rank", attr.Int, 0),
+		dur:  reg.MustCreate("time.duration", attr.Int, attr.AsValue|attr.Aggregatable),
+	}
+}
+
+func (fx *inclusiveFixture) rec(path []string, rank int64, dur int64) snapshot.FlatRecord {
+	var r snapshot.FlatRecord
+	for _, p := range path {
+		r = append(r, attr.Entry{Attr: fx.fn, Value: attr.StringV(p)})
+	}
+	if rank >= 0 {
+		r = append(r, attr.Entry{Attr: fx.rank, Value: attr.IntV(rank)})
+	}
+	r = append(r, attr.Entry{Attr: fx.dur, Value: attr.IntV(dur)})
+	return r
+}
+
+// collect flushes and indexes rows by function path.
+func collectInclusive(t *testing.T, db *DB, fx *inclusiveFixture) map[string][2]int64 {
+	t.Helper()
+	rows, err := db.FlushRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][2]int64{}
+	for _, r := range rows {
+		path := r.PathOf(fx.fn.ID(), "/")
+		var excl, incl int64
+		if v, ok := r.GetByName("sum#time.duration"); ok {
+			excl = v.AsInt()
+		}
+		if v, ok := r.GetByName("inclusive_sum#time.duration"); ok {
+			incl = v.AsInt()
+		}
+		out[path] = [2]int64{excl, incl}
+	}
+	return out
+}
+
+func TestInclusiveSumHierarchy(t *testing.T) {
+	fx := newInclusiveFixture(t)
+	scheme := MustScheme([]string{"function"},
+		[]OpSpec{{Kind: OpSum, Target: "time.duration"},
+			{Kind: OpInclusiveSum, Target: "time.duration"}})
+	db, err := NewDB(scheme, fx.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// call tree: main(10), main/foo(20), main/foo/bar(40), main/baz(5)
+	db.Update(fx.rec([]string{"main"}, -1, 10))
+	db.Update(fx.rec([]string{"main", "foo"}, -1, 20))
+	db.Update(fx.rec([]string{"main", "foo", "bar"}, -1, 40))
+	db.Update(fx.rec([]string{"main", "baz"}, -1, 5))
+
+	got := collectInclusive(t, db, fx)
+	wants := map[string][2]int64{
+		"main":         {10, 75}, // 10+20+40+5
+		"main/foo":     {20, 60}, // 20+40
+		"main/foo/bar": {40, 40},
+		"main/baz":     {5, 5},
+	}
+	for path, w := range wants {
+		if got[path] != w {
+			t.Errorf("%s: (excl,incl) = %v, want %v", path, got[path], w)
+		}
+	}
+}
+
+func TestInclusiveSumRespectsNonNestedKeys(t *testing.T) {
+	// the hierarchy only folds along nested attributes; different ranks
+	// must not mix
+	fx := newInclusiveFixture(t)
+	scheme := MustScheme([]string{"function", "mpi.rank"},
+		[]OpSpec{{Kind: OpInclusiveSum, Target: "time.duration"}})
+	db, _ := NewDB(scheme, fx.reg)
+	db.Update(fx.rec([]string{"main"}, 0, 10))
+	db.Update(fx.rec([]string{"main", "foo"}, 0, 20))
+	db.Update(fx.rec([]string{"main"}, 1, 100))
+	db.Update(fx.rec([]string{"main", "foo"}, 1, 200))
+
+	rows, err := db.FlushRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		path string
+		rank int64
+	}
+	got := map[key]int64{}
+	for _, r := range rows {
+		rk, _ := r.GetByName("mpi.rank")
+		v, _ := r.GetByName("inclusive_sum#time.duration")
+		got[key{r.PathOf(fx.fn.ID(), "/"), rk.AsInt()}] = v.AsInt()
+	}
+	wants := map[key]int64{
+		{"main", 0}:     30,
+		{"main/foo", 0}: 20,
+		{"main", 1}:     300,
+		{"main/foo", 1}: 200,
+	}
+	for k, w := range wants {
+		if got[k] != w {
+			t.Errorf("%v: inclusive = %d, want %d", k, got[k], w)
+		}
+	}
+}
+
+func TestInclusiveSumAbsentRankIsolated(t *testing.T) {
+	// a group without mpi.rank must not absorb ranked descendants
+	fx := newInclusiveFixture(t)
+	scheme := MustScheme([]string{"function", "mpi.rank"},
+		[]OpSpec{{Kind: OpInclusiveSum, Target: "time.duration"}})
+	db, _ := NewDB(scheme, fx.reg)
+	db.Update(fx.rec([]string{"main"}, -1, 1)) // no rank
+	db.Update(fx.rec([]string{"main", "foo"}, 3, 50))
+	rows, _ := db.FlushRecords()
+	for _, r := range rows {
+		if _, hasRank := r.GetByName("mpi.rank"); !hasRank {
+			v, _ := r.GetByName("inclusive_sum#time.duration")
+			if v.AsInt() != 1 {
+				t.Errorf("rankless group absorbed ranked descendants: %v", v)
+			}
+		}
+	}
+}
+
+func TestInclusiveSumMergeAcrossProcesses(t *testing.T) {
+	// merging per-process DBs before flush must equal aggregating the
+	// union (inclusive expansion happens at flush, exclusive sums merge)
+	fx := newInclusiveFixture(t)
+	scheme := MustScheme([]string{"function"},
+		[]OpSpec{{Kind: OpInclusiveSum, Target: "time.duration"}})
+	a, _ := NewDB(scheme, fx.reg)
+	b, _ := NewDB(scheme, fx.reg)
+	ref, _ := NewDB(scheme, fx.reg)
+	recs := []snapshot.FlatRecord{
+		fx.rec([]string{"main"}, -1, 10),
+		fx.rec([]string{"main", "foo"}, -1, 20),
+		fx.rec([]string{"main"}, -1, 30),
+		fx.rec([]string{"main", "foo", "bar"}, -1, 40),
+	}
+	for i, r := range recs {
+		if i%2 == 0 {
+			a.Update(r)
+		} else {
+			b.Update(r)
+		}
+		ref.Update(r)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	ga := collectInclusive(t, a, fx)
+	gr := collectInclusive(t, ref, fx)
+	for path, w := range gr {
+		if ga[path] != w {
+			t.Errorf("%s: merged %v, reference %v", path, ga[path], w)
+		}
+	}
+	if gr["main"][1] != 100 {
+		t.Errorf("main inclusive = %d, want 100", gr["main"][1])
+	}
+}
+
+func TestInclusiveSumViaCalQLName(t *testing.T) {
+	k, ok := ParseOpKind("inclusive_sum")
+	if !ok || k != OpInclusiveSum {
+		t.Fatalf("ParseOpKind(inclusive_sum) = %v,%v", k, ok)
+	}
+	spec := OpSpec{Kind: OpInclusiveSum, Target: "x"}
+	if spec.ResultName() != "inclusive_sum#x" {
+		t.Errorf("ResultName = %q", spec.ResultName())
+	}
+	if spec.ResultType(attr.Int) != attr.Int || spec.ResultType(attr.Float) != attr.Float {
+		t.Error("ResultType should follow the target type")
+	}
+}
+
+func TestInclusiveSumReaggregation(t *testing.T) {
+	// flushed inclusive results re-aggregate groupwise (summing across
+	// processes' identical group sets)
+	fx := newInclusiveFixture(t)
+	scheme := MustScheme([]string{"function"},
+		[]OpSpec{{Kind: OpInclusiveSum, Target: "time.duration"}})
+	db, _ := NewDB(scheme, fx.reg)
+	db.Update(fx.rec([]string{"main"}, -1, 10))
+	db.Update(fx.rec([]string{"main", "foo"}, -1, 20))
+	rows, _ := db.FlushRecords()
+
+	db2, _ := NewDB(scheme, fx.reg)
+	for _, r := range rows {
+		db2.Update(r)
+	}
+	got := collectInclusive(t, db2, fx)
+	// second stage sees pre-expanded values: main already 30, main/foo 20;
+	// the expansion adds main/foo's 20 into main again — this documents
+	// that inclusive results should be produced ONCE, at the final stage.
+	if got["main"][1] != 50 {
+		t.Errorf("double expansion expectation changed: main = %d", got["main"][1])
+	}
+}

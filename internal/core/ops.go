@@ -1,0 +1,367 @@
+// Package core implements the paper's primary contribution: the general
+// aggregation model of Section III — customizable aggregation schemes over
+// the flexible key:value data model, executed by a streaming reduction
+// kernel with an in-memory aggregation database (Section IV-B).
+//
+// A Scheme selects an aggregation key (the GROUP BY attributes), the
+// aggregation attributes, and reduction operators. A DB applies a scheme
+// to a stream of records, maintaining one aggregation record per unique
+// key. DBs can be merged (for cross-thread and cross-process aggregation)
+// and serialized (for the tree-based reduction network).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"caligo/internal/attr"
+)
+
+// OpKind enumerates the reduction operators. The paper's implementation
+// provides sum, min, max, and count (Section IV-B); avg, stddev, histogram,
+// and scount are natural extensions that the model supports unchanged.
+type OpKind uint8
+
+const (
+	// OpCount counts input records. When an input record already carries an
+	// aggregate.count result (i.e. it is itself an aggregation result),
+	// the counts are summed instead, so re-aggregation composes.
+	OpCount OpKind = iota
+	// OpSum adds the target attribute's values. Accepts pre-aggregated
+	// sum#<target> entries, so re-aggregation composes.
+	OpSum
+	// OpMin keeps the minimum target value (composes with min#<target>).
+	OpMin
+	// OpMax keeps the maximum target value (composes with max#<target>).
+	OpMax
+	// OpAvg reports the arithmetic mean of target values.
+	OpAvg
+	// OpStddev reports the population standard deviation of target values.
+	OpStddev
+	// OpHistogram bins target values into a fixed-range histogram,
+	// rendered as a compact string.
+	OpHistogram
+	// OpScount counts records in which the target attribute is present.
+	OpScount
+	// OpInclusiveSum sums the target like OpSum, and at flush time adds
+	// each group's total into all of its ancestor groups along nested
+	// (hierarchical) key attributes — yielding inclusive region times
+	// from exclusive measurements.
+	OpInclusiveSum
+	numOpKinds
+)
+
+var opNames = [...]string{"count", "sum", "min", "max", "avg", "stddev", "histogram", "scount", "inclusive_sum"}
+
+// String returns the operator's name as used in the description language.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// ParseOpKind resolves an operator name from the description language.
+func ParseOpKind(s string) (OpKind, bool) {
+	for i, n := range opNames {
+		if n == s {
+			return OpKind(i), true
+		}
+	}
+	return 0, false
+}
+
+// NeedsTarget reports whether the operator requires a target attribute.
+func (k OpKind) NeedsTarget() bool { return k != OpCount }
+
+// CountResultName is the label of the count operator's result attribute.
+// The paper's workflow re-aggregates it explicitly
+// ("AGGREGATE sum(aggregate.count)", Section VI-B).
+const CountResultName = "aggregate.count"
+
+// OpSpec configures one reduction operator instance within a scheme.
+type OpSpec struct {
+	Kind   OpKind
+	Target string // aggregation attribute label; empty for count
+	Alias  string // optional output label override
+
+	// Histogram parameters (used when Kind == OpHistogram).
+	HistMin  float64
+	HistMax  float64
+	HistBins int
+}
+
+// ResultName returns the label of the operator's result attribute.
+func (o OpSpec) ResultName() string {
+	if o.Alias != "" {
+		return o.Alias
+	}
+	if o.Kind == OpCount {
+		return CountResultName
+	}
+	return o.Kind.String() + "#" + o.Target
+}
+
+// quoteLabel quotes a label that contains characters outside the
+// description language's identifier set, so rendered schemes re-parse.
+func quoteLabel(s string) string {
+	if s == "" {
+		return `""`
+	}
+	// digit- or minus-led labels could lex as numbers; quote them
+	// conservatively
+	quote := s[0] >= '0' && s[0] <= '9' || s[0] == '-'
+	if !quote {
+		for _, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			case r == '.', r == '_', r == '#', r == ':', r == '-', r == '/', r == '@':
+			default:
+				quote = true
+			}
+		}
+	}
+	if !quote {
+		return s
+	}
+	// escape exactly what the description-language lexer unescapes
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// String renders the spec in description-language syntax.
+func (o OpSpec) String() string {
+	s := o.Kind.String()
+	if o.Kind == OpHistogram {
+		s += fmt.Sprintf("(%s,%g,%g,%d)", quoteLabel(o.Target), o.HistMin, o.HistMax, o.HistBins)
+	} else if o.Kind.NeedsTarget() {
+		s += "(" + quoteLabel(o.Target) + ")"
+	}
+	if o.Alias != "" {
+		s += " AS " + quoteLabel(o.Alias)
+	}
+	return s
+}
+
+// Validate checks the spec for consistency.
+func (o OpSpec) Validate() error {
+	if o.Kind >= numOpKinds {
+		return fmt.Errorf("core: unknown operator kind %d", o.Kind)
+	}
+	if o.Kind.NeedsTarget() && o.Target == "" {
+		return fmt.Errorf("core: operator %s requires a target attribute", o.Kind)
+	}
+	if !o.Kind.NeedsTarget() && o.Target != "" {
+		return fmt.Errorf("core: operator %s takes no target (got %q)", o.Kind, o.Target)
+	}
+	if o.Kind == OpHistogram {
+		if o.HistBins <= 0 {
+			return fmt.Errorf("core: histogram(%s): bin count must be positive", o.Target)
+		}
+		if !(o.HistMin < o.HistMax) {
+			return fmt.Errorf("core: histogram(%s): need min < max, got [%g,%g)",
+				o.Target, o.HistMin, o.HistMax)
+		}
+	}
+	return nil
+}
+
+// accum is the streaming accumulator for one operator instance within one
+// aggregation record. A single flat struct (rather than an interface per
+// op) keeps the hot update path free of dynamic dispatch and allocation;
+// see BenchmarkAblationOpDispatch for the comparison.
+type accum struct {
+	count    uint64 // records seen (count/scount/avg/stddev)
+	isum     int64  // integer sum
+	fsum     float64
+	sumsq    float64
+	min, max attr.Variant
+	bins     []uint64 // histogram bins + underflow/overflow at [n], [n+1]
+	seen     bool
+}
+
+// update folds one observed value into the accumulator.
+func (a *accum) update(spec *OpSpec, v attr.Variant) {
+	switch spec.Kind {
+	case OpCount, OpScount:
+		a.count += v.AsUint() // callers pass the increment as a value
+	case OpSum, OpAvg, OpStddev, OpInclusiveSum:
+		f := v.AsFloat()
+		a.fsum += f
+		a.isum += v.AsInt()
+		a.sumsq += f * f
+		a.count++
+		a.seen = true
+	case OpMin:
+		if !a.seen || attr.Compare(v, a.min) < 0 {
+			a.min = v
+			a.seen = true
+		}
+	case OpMax:
+		if !a.seen || attr.Compare(v, a.max) > 0 {
+			a.max = v
+			a.seen = true
+		}
+	case OpHistogram:
+		if a.bins == nil {
+			a.bins = make([]uint64, spec.HistBins+2)
+		}
+		f := v.AsFloat()
+		n := spec.HistBins
+		switch {
+		case f < spec.HistMin:
+			a.bins[n]++ // underflow
+		case f >= spec.HistMax:
+			a.bins[n+1]++ // overflow
+		default:
+			i := int((f - spec.HistMin) / (spec.HistMax - spec.HistMin) * float64(n))
+			if i >= n { // guard fp rounding at the upper edge
+				i = n - 1
+			}
+			a.bins[i]++
+		}
+		a.count++
+		a.seen = true
+	}
+}
+
+// merge folds another accumulator of the same spec into a.
+func (a *accum) merge(spec *OpSpec, b *accum) {
+	switch spec.Kind {
+	case OpCount, OpScount:
+		a.count += b.count
+	case OpSum, OpAvg, OpStddev, OpInclusiveSum:
+		a.fsum += b.fsum
+		a.isum += b.isum
+		a.sumsq += b.sumsq
+		a.count += b.count
+		a.seen = a.seen || b.seen
+	case OpMin:
+		if b.seen && (!a.seen || attr.Compare(b.min, a.min) < 0) {
+			a.min = b.min
+			a.seen = true
+		}
+	case OpMax:
+		if b.seen && (!a.seen || attr.Compare(b.max, a.max) > 0) {
+			a.max = b.max
+			a.seen = true
+		}
+	case OpHistogram:
+		if b.bins != nil {
+			if a.bins == nil {
+				a.bins = make([]uint64, len(b.bins))
+			}
+			for i := range b.bins {
+				a.bins[i] += b.bins[i]
+			}
+		}
+		a.count += b.count
+		a.seen = a.seen || b.seen
+	}
+}
+
+// result produces the accumulator's output value. The second return is
+// false when the accumulator observed no input (the result entry is then
+// omitted from the output record).
+func (a *accum) result(spec *OpSpec, targetType attr.Type) (attr.Variant, bool) {
+	switch spec.Kind {
+	case OpCount, OpScount:
+		if a.count == 0 && spec.Kind == OpScount {
+			return attr.Variant{}, false
+		}
+		return attr.UintV(a.count), true
+	case OpSum, OpInclusiveSum:
+		if !a.seen {
+			return attr.Variant{}, false
+		}
+		if targetType == attr.Float {
+			return attr.FloatV(a.fsum), true
+		}
+		return attr.IntV(a.isum), true
+	case OpMin:
+		return a.min, a.seen
+	case OpMax:
+		return a.max, a.seen
+	case OpAvg:
+		if a.count == 0 {
+			return attr.Variant{}, false
+		}
+		return attr.FloatV(a.fsum / float64(a.count)), true
+	case OpStddev:
+		if a.count == 0 {
+			return attr.Variant{}, false
+		}
+		n := float64(a.count)
+		mean := a.fsum / n
+		varc := a.sumsq/n - mean*mean
+		if varc < 0 { // fp noise
+			varc = 0
+		}
+		return attr.FloatV(math.Sqrt(varc)), true
+	case OpHistogram:
+		if !a.seen {
+			return attr.Variant{}, false
+		}
+		return attr.StringV(renderHistogram(spec, a.bins)), true
+	}
+	return attr.Variant{}, false
+}
+
+// renderHistogram renders bins as "min:max:c0,c1,...|under|over".
+func renderHistogram(spec *OpSpec, bins []uint64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%g:%g:", spec.HistMin, spec.HistMax)
+	n := spec.HistBins
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", bins[i])
+	}
+	fmt.Fprintf(&sb, "|%d|%d", bins[n], bins[n+1])
+	return sb.String()
+}
+
+// ResultType returns the variant type of the operator's output, given the
+// target attribute's type.
+func (o OpSpec) ResultType(targetType attr.Type) attr.Type {
+	switch o.Kind {
+	case OpCount, OpScount:
+		return attr.Uint
+	case OpSum, OpInclusiveSum:
+		if targetType == attr.Float {
+			return attr.Float
+		}
+		return attr.Int
+	case OpMin, OpMax:
+		if targetType == attr.Inv {
+			return attr.Float
+		}
+		return targetType
+	case OpAvg, OpStddev:
+		return attr.Float
+	case OpHistogram:
+		return attr.String
+	}
+	return attr.Inv
+}
+
+// sortOpSpecs orders specs deterministically (for canonical scheme text).
+func sortOpSpecs(specs []OpSpec) {
+	sort.SliceStable(specs, func(i, j int) bool {
+		if specs[i].Kind != specs[j].Kind {
+			return specs[i].Kind < specs[j].Kind
+		}
+		return specs[i].Target < specs[j].Target
+	})
+}

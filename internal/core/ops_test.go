@@ -1,0 +1,260 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"caligo/internal/attr"
+)
+
+func TestOpKindStringAndParse(t *testing.T) {
+	for k := OpKind(0); k < numOpKinds; k++ {
+		got, ok := ParseOpKind(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseOpKind(%q) = %v,%v; want %v", k.String(), got, ok, k)
+		}
+	}
+	if _, ok := ParseOpKind("frobnicate"); ok {
+		t.Error("unknown op should not parse")
+	}
+	if OpKind(200).String() == "" {
+		t.Error("out-of-range kind should render something")
+	}
+}
+
+func TestOpSpecResultName(t *testing.T) {
+	tests := []struct {
+		spec OpSpec
+		want string
+	}{
+		{OpSpec{Kind: OpCount}, "aggregate.count"},
+		{OpSpec{Kind: OpSum, Target: "time"}, "sum#time"},
+		{OpSpec{Kind: OpMin, Target: "x"}, "min#x"},
+		{OpSpec{Kind: OpMax, Target: "x"}, "max#x"},
+		{OpSpec{Kind: OpAvg, Target: "x"}, "avg#x"},
+		{OpSpec{Kind: OpStddev, Target: "x"}, "stddev#x"},
+		{OpSpec{Kind: OpScount, Target: "x"}, "scount#x"},
+		{OpSpec{Kind: OpSum, Target: "t", Alias: "total"}, "total"},
+	}
+	for _, tt := range tests {
+		if got := tt.spec.ResultName(); got != tt.want {
+			t.Errorf("%v.ResultName() = %q, want %q", tt.spec, got, tt.want)
+		}
+	}
+}
+
+func TestOpSpecValidate(t *testing.T) {
+	valid := []OpSpec{
+		{Kind: OpCount},
+		{Kind: OpSum, Target: "x"},
+		{Kind: OpHistogram, Target: "x", HistMin: 0, HistMax: 10, HistBins: 4},
+	}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", s, err)
+		}
+	}
+	invalid := []OpSpec{
+		{Kind: numOpKinds},
+		{Kind: OpSum},                    // missing target
+		{Kind: OpCount, Target: "x"},     // target on count
+		{Kind: OpHistogram, Target: "x"}, // no bins
+		{Kind: OpHistogram, Target: "x", HistMin: 5, HistMax: 5, HistBins: 2}, // empty range
+	}
+	for _, s := range invalid {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", s)
+		}
+	}
+}
+
+func TestOpSpecString(t *testing.T) {
+	s := OpSpec{Kind: OpSum, Target: "time", Alias: "total"}
+	if got := s.String(); got != "sum(time) AS total" {
+		t.Errorf("String = %q", got)
+	}
+	c := OpSpec{Kind: OpCount}
+	if got := c.String(); got != "count" {
+		t.Errorf("String = %q", got)
+	}
+	h := OpSpec{Kind: OpHistogram, Target: "x", HistMin: 0, HistMax: 8, HistBins: 4}
+	if got := h.String(); got != "histogram(x,0,8,4)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAccumSum(t *testing.T) {
+	spec := &OpSpec{Kind: OpSum, Target: "x"}
+	var a accum
+	for _, v := range []int64{10, 20, 30} {
+		a.update(spec, attr.IntV(v))
+	}
+	v, ok := a.result(spec, attr.Int)
+	if !ok || v.AsInt() != 60 {
+		t.Errorf("int sum = %v,%v; want 60", v, ok)
+	}
+	v, _ = a.result(spec, attr.Float)
+	if v.AsFloat() != 60 {
+		t.Errorf("float sum = %v", v)
+	}
+	var empty accum
+	if _, ok := empty.result(spec, attr.Int); ok {
+		t.Error("empty sum should produce no result")
+	}
+}
+
+func TestAccumMinMax(t *testing.T) {
+	minSpec := &OpSpec{Kind: OpMin, Target: "x"}
+	maxSpec := &OpSpec{Kind: OpMax, Target: "x"}
+	var lo, hi accum
+	for _, v := range []float64{3, -1, 7, 2} {
+		lo.update(minSpec, attr.FloatV(v))
+		hi.update(maxSpec, attr.FloatV(v))
+	}
+	if v, ok := lo.result(minSpec, attr.Float); !ok || v.AsFloat() != -1 {
+		t.Errorf("min = %v,%v; want -1", v, ok)
+	}
+	if v, ok := hi.result(maxSpec, attr.Float); !ok || v.AsFloat() != 7 {
+		t.Errorf("max = %v,%v; want 7", v, ok)
+	}
+}
+
+func TestAccumAvgStddev(t *testing.T) {
+	avgSpec := &OpSpec{Kind: OpAvg, Target: "x"}
+	sdSpec := &OpSpec{Kind: OpStddev, Target: "x"}
+	var av, sd accum
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		av.update(avgSpec, attr.FloatV(v))
+		sd.update(sdSpec, attr.FloatV(v))
+	}
+	if v, ok := av.result(avgSpec, attr.Float); !ok || v.AsFloat() != 5 {
+		t.Errorf("avg = %v,%v; want 5", v, ok)
+	}
+	// classic example: population stddev of this set is 2
+	if v, ok := sd.result(sdSpec, attr.Float); !ok || v.AsFloat() != 2 {
+		t.Errorf("stddev = %v,%v; want 2", v, ok)
+	}
+}
+
+func TestAccumHistogram(t *testing.T) {
+	spec := &OpSpec{Kind: OpHistogram, Target: "x", HistMin: 0, HistMax: 10, HistBins: 5}
+	var a accum
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.999, 10, 42} {
+		a.update(spec, attr.FloatV(v))
+	}
+	v, ok := a.result(spec, attr.Float)
+	if !ok {
+		t.Fatal("histogram with input should produce result")
+	}
+	// bins: [0,2):2  [2,4):1  [4,6):1  [6,8):0  [8,10):1  under:1 over:2
+	want := "0:10:2,1,1,0,1|1|2"
+	if v.String() != want {
+		t.Errorf("histogram = %q, want %q", v.String(), want)
+	}
+}
+
+func TestAccumHistogramEdgeRounding(t *testing.T) {
+	// a value just below max must not index past the last bin
+	spec := &OpSpec{Kind: OpHistogram, Target: "x", HistMin: 0, HistMax: 0.3, HistBins: 3}
+	var a accum
+	a.update(spec, attr.FloatV(0.3-1e-17)) // rounds to 0.3 in the scaled math
+	v, _ := a.result(spec, attr.Float)
+	if !strings.HasPrefix(v.String(), "0:0.3:") {
+		t.Fatalf("unexpected render: %q", v)
+	}
+	// must not panic and must count exactly one value somewhere
+	total := uint64(0)
+	for _, b := range a.bins {
+		total += b
+	}
+	if total != 1 {
+		t.Errorf("histogram lost or duplicated the edge value: bins=%v", a.bins)
+	}
+}
+
+func TestAccumMerge(t *testing.T) {
+	specs := []OpSpec{
+		{Kind: OpCount},
+		{Kind: OpSum, Target: "x"},
+		{Kind: OpMin, Target: "x"},
+		{Kind: OpMax, Target: "x"},
+		{Kind: OpAvg, Target: "x"},
+		{Kind: OpStddev, Target: "x"},
+		{Kind: OpHistogram, Target: "x", HistMin: 0, HistMax: 100, HistBins: 10},
+	}
+	left := []float64{1, 5, 20}
+	right := []float64{50, 99, -3, 110}
+	for si := range specs {
+		spec := &specs[si]
+		var a, b, ref accum
+		feed := func(acc *accum, vals []float64) {
+			for _, v := range vals {
+				if spec.Kind == OpCount {
+					acc.update(spec, attr.UintV(1))
+				} else {
+					acc.update(spec, attr.FloatV(v))
+				}
+			}
+		}
+		feed(&a, left)
+		feed(&b, right)
+		feed(&ref, left)
+		feed(&ref, right)
+		a.merge(spec, &b)
+		va, oka := a.result(spec, attr.Float)
+		vr, okr := ref.result(spec, attr.Float)
+		if oka != okr || va != vr {
+			t.Errorf("%v: merged = %v,%v; sequential = %v,%v", spec, va, oka, vr, okr)
+		}
+	}
+}
+
+func TestAccumMergeEmptySides(t *testing.T) {
+	spec := &OpSpec{Kind: OpMin, Target: "x"}
+	var a, b accum
+	b.update(spec, attr.IntV(5))
+	a.merge(spec, &b)
+	if v, ok := a.result(spec, attr.Int); !ok || v.AsInt() != 5 {
+		t.Errorf("merge into empty = %v,%v", v, ok)
+	}
+	var c accum
+	a.merge(spec, &c) // merging empty is a no-op
+	if v, _ := a.result(spec, attr.Int); v.AsInt() != 5 {
+		t.Error("merging empty changed result")
+	}
+}
+
+func TestResultType(t *testing.T) {
+	tests := []struct {
+		spec OpSpec
+		in   attr.Type
+		want attr.Type
+	}{
+		{OpSpec{Kind: OpCount}, attr.Inv, attr.Uint},
+		{OpSpec{Kind: OpSum, Target: "x"}, attr.Int, attr.Int},
+		{OpSpec{Kind: OpSum, Target: "x"}, attr.Float, attr.Float},
+		{OpSpec{Kind: OpMin, Target: "x"}, attr.Uint, attr.Uint},
+		{OpSpec{Kind: OpMin, Target: "x"}, attr.Inv, attr.Float},
+		{OpSpec{Kind: OpAvg, Target: "x"}, attr.Int, attr.Float},
+		{OpSpec{Kind: OpStddev, Target: "x"}, attr.Int, attr.Float},
+		{OpSpec{Kind: OpHistogram, Target: "x"}, attr.Float, attr.String},
+		{OpSpec{Kind: OpScount, Target: "x"}, attr.Float, attr.Uint},
+	}
+	for _, tt := range tests {
+		if got := tt.spec.ResultType(tt.in); got != tt.want {
+			t.Errorf("%v.ResultType(%v) = %v, want %v", tt.spec, tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSortOpSpecs(t *testing.T) {
+	specs := []OpSpec{
+		{Kind: OpSum, Target: "b"},
+		{Kind: OpCount},
+		{Kind: OpSum, Target: "a"},
+	}
+	sortOpSpecs(specs)
+	if specs[0].Kind != OpCount || specs[1].Target != "a" || specs[2].Target != "b" {
+		t.Errorf("sort order wrong: %v", specs)
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"caligo/internal/attr"
+	"caligo/internal/snapshot"
+)
+
+// TestQuickAgainstReferenceModel drives the aggregation database with
+// random schemes over random record streams and compares every output
+// against an independent, naive reference implementation (maps and
+// slices, no streaming, no hashing). This is the central end-to-end
+// correctness property of the paper's aggregation model.
+func TestQuickAgainstReferenceModel(t *testing.T) {
+	f := func(seed int64, nRecords uint8, keySel, opSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+
+		reg := attr.NewRegistry()
+		fn := reg.MustCreate("function", attr.String, attr.Nested)
+		iter := reg.MustCreate("iteration", attr.Int, 0)
+		rank := reg.MustCreate("rank", attr.Int, 0)
+		dur := reg.MustCreate("dur", attr.Int, attr.AsValue|attr.Aggregatable)
+		bytesA := reg.MustCreate("bytes", attr.Float, attr.AsValue|attr.Aggregatable)
+
+		// random key subset (never empty-op, always at least count)
+		allKeys := []string{"function", "iteration", "rank"}
+		var key []string
+		for i, k := range allKeys {
+			if keySel&(1<<uint(i)) != 0 {
+				key = append(key, k)
+			}
+		}
+		ops := []OpSpec{{Kind: OpCount}}
+		if opSel&1 != 0 {
+			ops = append(ops, OpSpec{Kind: OpSum, Target: "dur"})
+		}
+		if opSel&2 != 0 {
+			ops = append(ops, OpSpec{Kind: OpMin, Target: "dur"})
+		}
+		if opSel&4 != 0 {
+			ops = append(ops, OpSpec{Kind: OpMax, Target: "bytes"})
+		}
+		if opSel&8 != 0 {
+			ops = append(ops, OpSpec{Kind: OpAvg, Target: "bytes"})
+		}
+		scheme, err := NewScheme(key, ops)
+		if err != nil {
+			return false
+		}
+		db, err := NewDB(scheme, reg)
+		if err != nil {
+			return false
+		}
+
+		// reference state per group
+		type refGroup struct {
+			count    int64
+			durVals  []int64
+			byteVals []float64
+		}
+		ref := map[string]*refGroup{}
+
+		names := []string{"main", "foo", "bar"}
+		n := int(nRecords%100) + 1
+		for i := 0; i < n; i++ {
+			var rec snapshot.FlatRecord
+			depth := rng.Intn(3)
+			var fnPath []string
+			for d := 0; d < depth; d++ {
+				v := names[rng.Intn(len(names))]
+				fnPath = append(fnPath, v)
+				rec = append(rec, attr.Entry{Attr: fn, Value: attr.StringV(v)})
+			}
+			itVal, hasIt := int64(rng.Intn(3)), rng.Intn(2) == 0
+			if hasIt {
+				rec = append(rec, attr.Entry{Attr: iter, Value: attr.IntV(itVal)})
+			}
+			rkVal, hasRk := int64(rng.Intn(2)), rng.Intn(3) > 0
+			if hasRk {
+				rec = append(rec, attr.Entry{Attr: rank, Value: attr.IntV(rkVal)})
+			}
+			durVal, hasDur := int64(rng.Intn(100)), rng.Intn(4) > 0
+			if hasDur {
+				rec = append(rec, attr.Entry{Attr: dur, Value: attr.IntV(durVal)})
+			}
+			byteVal, hasBytes := float64(rng.Intn(64))/4, rng.Intn(3) > 0
+			if hasBytes {
+				rec = append(rec, attr.Entry{Attr: bytesA, Value: attr.FloatV(byteVal)})
+			}
+
+			db.Update(rec)
+
+			// reference: group key = explicit tuple over the scheme key
+			var kparts []string
+			for _, k := range key {
+				switch k {
+				case "function":
+					kparts = append(kparts, "fn="+strings.Join(fnPath, "/"))
+				case "iteration":
+					if hasIt {
+						kparts = append(kparts, fmt.Sprintf("it=%d", itVal))
+					} else {
+						kparts = append(kparts, "it=•")
+					}
+				case "rank":
+					if hasRk {
+						kparts = append(kparts, fmt.Sprintf("rk=%d", rkVal))
+					} else {
+						kparts = append(kparts, "rk=•")
+					}
+				}
+			}
+			gk := strings.Join(kparts, "|")
+			g := ref[gk]
+			if g == nil {
+				g = &refGroup{}
+				ref[gk] = g
+			}
+			g.count++
+			if hasDur {
+				g.durVals = append(g.durVals, durVal)
+			}
+			if hasBytes {
+				g.byteVals = append(g.byteVals, byteVal)
+			}
+		}
+
+		rows, err := db.FlushRecords()
+		if err != nil {
+			return false
+		}
+		if len(rows) != len(ref) {
+			t.Logf("group count: db %d vs ref %d", len(rows), len(ref))
+			return false
+		}
+		for _, row := range rows {
+			// rebuild the reference key from the row
+			var kparts []string
+			for _, k := range key {
+				switch k {
+				case "function":
+					kparts = append(kparts, "fn="+row.PathOf(fn.ID(), "/"))
+				case "iteration":
+					if v, ok := row.GetByName("iteration"); ok {
+						kparts = append(kparts, "it="+v.String())
+					} else {
+						kparts = append(kparts, "it=•")
+					}
+				case "rank":
+					if v, ok := row.GetByName("rank"); ok {
+						kparts = append(kparts, "rk="+v.String())
+					} else {
+						kparts = append(kparts, "rk=•")
+					}
+				}
+			}
+			g := ref[strings.Join(kparts, "|")]
+			if g == nil {
+				t.Logf("unexpected group %v in output", kparts)
+				return false
+			}
+			if v, _ := row.GetByName("aggregate.count"); v.AsInt() != g.count {
+				t.Logf("count mismatch: %d vs %d", v.AsInt(), g.count)
+				return false
+			}
+			for _, op := range ops {
+				switch op.Kind {
+				case OpSum:
+					want := int64(0)
+					for _, v := range g.durVals {
+						want += v
+					}
+					got, ok := row.GetByName("sum#dur")
+					if len(g.durVals) == 0 {
+						if ok {
+							return false
+						}
+						continue
+					}
+					if !ok || got.AsInt() != want {
+						t.Logf("sum mismatch: %v vs %d", got, want)
+						return false
+					}
+				case OpMin:
+					if len(g.durVals) == 0 {
+						continue
+					}
+					want := g.durVals[0]
+					for _, v := range g.durVals {
+						if v < want {
+							want = v
+						}
+					}
+					if got, ok := row.GetByName("min#dur"); !ok || got.AsInt() != want {
+						return false
+					}
+				case OpMax:
+					if len(g.byteVals) == 0 {
+						continue
+					}
+					want := g.byteVals[0]
+					for _, v := range g.byteVals {
+						if v > want {
+							want = v
+						}
+					}
+					if got, ok := row.GetByName("max#bytes"); !ok || got.AsFloat() != want {
+						return false
+					}
+				case OpAvg:
+					if len(g.byteVals) == 0 {
+						continue
+					}
+					sum := 0.0
+					for _, v := range g.byteVals {
+						sum += v
+					}
+					want := sum / float64(len(g.byteVals))
+					if got, ok := row.GetByName("avg#bytes"); !ok ||
+						math.Abs(got.AsFloat()-want) > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFlushDeterminism: any DB flushes identically twice, and a
+// merged clone flushes identically to the original.
+func TestQuickFlushDeterminism(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reg := attr.NewRegistry()
+		k := reg.MustCreate("k", attr.String, 0)
+		v := reg.MustCreate("v", attr.Int, attr.AsValue)
+		scheme := MustScheme([]string{"k"},
+			[]OpSpec{{Kind: OpCount}, {Kind: OpSum, Target: "v"}})
+		db, _ := NewDB(scheme, reg)
+		for i := 0; i < int(n); i++ {
+			db.Update(snapshot.FlatRecord{
+				{Attr: k, Value: attr.StringV(fmt.Sprintf("g%d", rng.Intn(5)))},
+				{Attr: v, Value: attr.IntV(int64(rng.Intn(100)))},
+			})
+		}
+		r1, err1 := db.FlushRecords()
+		r2, err2 := db.FlushRecords()
+		if err1 != nil || err2 != nil || len(r1) != len(r2) {
+			return false
+		}
+		var s1, s2 []string
+		for i := range r1 {
+			s1 = append(s1, r1[i].String())
+			s2 = append(s2, r2[i].String())
+		}
+		sort.Strings(s1)
+		sort.Strings(s2)
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				return false
+			}
+		}
+		// clone through the wire and compare
+		clone, _ := NewDB(scheme, attr.NewRegistry())
+		if clone.MergeEncodedState(db.EncodeState()) != nil {
+			return false
+		}
+		r3, err := clone.FlushRecords()
+		if err != nil || len(r3) != len(r1) {
+			return false
+		}
+		for i := range r1 {
+			if r1[i].String() != r3[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

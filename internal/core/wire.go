@@ -1,0 +1,270 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"caligo/internal/attr"
+)
+
+// Wire format for aggregation database state, used by the tree-based
+// cross-process reduction (Section IV-C): leaf processes send their local
+// aggregation results to their parent, where the partial results are
+// merged. The encoding is registry-independent — keys are expressed as
+// (scheme key position, value path) pairs, so sender and receiver only
+// need to share the scheme.
+
+// wireVersion guards against format drift between peers.
+const wireVersion = 2
+
+// EncodeState serializes the database's aggregation records. The output
+// can be merged into any DB with an equal scheme via MergeEncodedState.
+func (db *DB) EncodeState() []byte {
+	buf := []byte{wireVersion}
+	buf = binary.AppendUvarint(buf, uint64(len(db.scheme.Ops)))
+	// per-op resolved target types, so a receiver whose registry has not
+	// seen the target attributes still emits correctly typed results
+	for i := range db.scheme.Ops {
+		buf = append(buf, byte(db.resolveTargetType(&db.scheme.Ops[i])))
+	}
+	// per-key-attribute nested flags: the receiver needs them to expand
+	// inclusive_sum hierarchies (flag 2 = metadata known). Flags learned
+	// from received state propagate, so intermediate reduction nodes with
+	// fresh registries do not lose them.
+	buf = binary.AppendUvarint(buf, uint64(len(db.scheme.Key)))
+	for pos, name := range db.scheme.Key {
+		var flag byte
+		if a, ok := db.reg.Find(name); ok {
+			flag = 2
+			if a.IsNested() {
+				flag |= 1
+			}
+		} else if db.wireNested != nil && db.wireNested[pos]&2 != 0 {
+			flag = db.wireNested[pos]
+		}
+		buf = append(buf, flag)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(db.buckets)))
+	buf = binary.AppendUvarint(buf, db.processed)
+
+	keys := make([]string, 0, len(db.buckets))
+	for k := range db.buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, k := range keys {
+		b := db.buckets[k]
+		buf = binary.AppendUvarint(buf, uint64(len(b.keyGroups)))
+		for _, g := range b.keyGroups {
+			buf = binary.AppendUvarint(buf, uint64(g.pos))
+			buf = binary.AppendUvarint(buf, uint64(len(g.values)))
+			for _, v := range g.values {
+				buf = v.AppendEncoded(buf)
+			}
+		}
+		for i := range b.accs {
+			buf = appendAccum(buf, &b.accs[i])
+		}
+	}
+	return buf
+}
+
+// appendAccum serializes one accumulator.
+func appendAccum(buf []byte, a *accum) []byte {
+	flags := byte(0)
+	if a.seen {
+		flags |= 1
+	}
+	if a.bins != nil {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, a.count)
+	buf = binary.AppendVarint(buf, a.isum)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.fsum))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.sumsq))
+	buf = a.min.AppendEncoded(buf)
+	buf = a.max.AppendEncoded(buf)
+	if a.bins != nil {
+		buf = binary.AppendUvarint(buf, uint64(len(a.bins)))
+		for _, c := range a.bins {
+			buf = binary.AppendUvarint(buf, c)
+		}
+	}
+	return buf
+}
+
+// wireReader tracks a decode position with error sticky-ness.
+type wireReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("core: decode state: "+format, args...)
+	}
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("truncated uvarint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *wireReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("truncated varint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.fail("truncated byte at offset %d", r.pos)
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *wireReader) float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.buf) {
+		r.fail("truncated float at offset %d", r.pos)
+		return 0
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
+	r.pos += 8
+	return f
+}
+
+func (r *wireReader) variant() attr.Variant {
+	if r.err != nil {
+		return attr.Variant{}
+	}
+	v, n, err := attr.DecodeVariant(r.buf[r.pos:])
+	if err != nil {
+		r.fail("%v", err)
+		return attr.Variant{}
+	}
+	r.pos += n
+	return v
+}
+
+// MergeEncodedState decodes a state blob produced by EncodeState (from a
+// DB with an equal scheme) and merges its aggregation records into db.
+func (db *DB) MergeEncodedState(data []byte) error {
+	r := &wireReader{buf: data}
+	if v := r.byte(); r.err == nil && v != wireVersion {
+		return fmt.Errorf("core: decode state: version %d, want %d", v, wireVersion)
+	}
+	nops := r.uvarint()
+	if r.err == nil && nops != uint64(len(db.scheme.Ops)) {
+		return fmt.Errorf("core: decode state: %d ops in stream, scheme has %d",
+			nops, len(db.scheme.Ops))
+	}
+	for i := 0; i < int(nops) && r.err == nil; i++ {
+		db.noteWireType(i, attr.Type(r.byte()))
+	}
+	nKeys := r.uvarint()
+	if r.err == nil && nKeys != uint64(len(db.scheme.Key)) {
+		return fmt.Errorf("core: decode state: %d key attributes in stream, scheme has %d",
+			nKeys, len(db.scheme.Key))
+	}
+	for i := 0; i < int(nKeys) && r.err == nil; i++ {
+		db.noteWireNested(i, r.byte())
+	}
+	nBuckets := r.uvarint()
+	processed := r.uvarint()
+
+	const maxReasonable = 1 << 28 // guard against corrupt counts
+	if r.err == nil && nBuckets > maxReasonable {
+		return fmt.Errorf("core: decode state: implausible bucket count %d", nBuckets)
+	}
+
+	groups := []keyGroup{}
+	accs := make([]accum, len(db.scheme.Ops))
+	for bi := uint64(0); bi < nBuckets && r.err == nil; bi++ {
+		nGroups := r.uvarint()
+		if r.err == nil && nGroups > uint64(len(db.scheme.Key)) {
+			return fmt.Errorf("core: decode state: %d key groups, scheme key has %d attributes",
+				nGroups, len(db.scheme.Key))
+		}
+		groups = groups[:0]
+		for gi := uint64(0); gi < nGroups && r.err == nil; gi++ {
+			pos := r.uvarint()
+			nVals := r.uvarint()
+			if r.err == nil && nVals > maxReasonable {
+				return fmt.Errorf("core: decode state: implausible value count %d", nVals)
+			}
+			vals := make([]attr.Variant, 0, nVals)
+			for vi := uint64(0); vi < nVals && r.err == nil; vi++ {
+				vals = append(vals, r.variant())
+			}
+			groups = append(groups, keyGroup{pos: int(pos), values: vals})
+		}
+		for i := range accs {
+			accs[i] = decodeAccum(r)
+		}
+		if r.err != nil {
+			return r.err
+		}
+		if err := db.mergeBucket(groups, accs); err != nil {
+			return err
+		}
+	}
+	if r.err != nil {
+		return r.err
+	}
+	db.processed += processed
+	return nil
+}
+
+// decodeAccum reads one accumulator.
+func decodeAccum(r *wireReader) accum {
+	var a accum
+	flags := r.byte()
+	a.seen = flags&1 != 0
+	a.count = r.uvarint()
+	a.isum = r.varint()
+	a.fsum = r.float()
+	a.sumsq = r.float()
+	a.min = r.variant()
+	a.max = r.variant()
+	if flags&2 != 0 {
+		n := r.uvarint()
+		if r.err == nil && n > 1<<20 {
+			r.fail("implausible histogram size %d", n)
+			return a
+		}
+		a.bins = make([]uint64, n)
+		for i := range a.bins {
+			a.bins[i] = r.uvarint()
+		}
+	}
+	return a
+}

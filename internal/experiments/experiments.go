@@ -1,0 +1,112 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) and case study (Section VI):
+//
+//	Figure 3  — on-line aggregation overhead (baseline / trace / schemes A-C)
+//	Table I   — snapshot and output-record counts per configuration
+//	Figure 4  — weak scaling of the MPI-based query application
+//	Figure 5  — sampling profile of computational kernels
+//	Figure 6  — MPI function time profile
+//	Figure 7  — load balance across ranks
+//	Figure 8  — time per AMR level per timestep
+//	Figure 9  — time per AMR level per MPI rank
+//
+// Each experiment returns a Report with the regenerated rows/series, which
+// cmd/experiments prints and EXPERIMENTS.md records against the paper's
+// published shapes.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	// ID is the experiment identifier ("fig3", "table1", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Lines holds the formatted result rows.
+	Lines []string
+	// ShapeChecks lists pass/fail assessments of the paper's qualitative
+	// claims ("who wins, by roughly what factor").
+	ShapeChecks []ShapeCheck
+}
+
+// ShapeCheck is one qualitative comparison against the paper.
+type ShapeCheck struct {
+	Claim string
+	Pass  bool
+	Note  string
+}
+
+// Addf appends a formatted line to the report.
+func (r *Report) Addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Check records a shape check.
+func (r *Report) Check(claim string, pass bool, noteFormat string, args ...any) {
+	r.ShapeChecks = append(r.ShapeChecks, ShapeCheck{
+		Claim: claim,
+		Pass:  pass,
+		Note:  fmt.Sprintf(noteFormat, args...),
+	})
+}
+
+// String renders the report as text.
+func (r *Report) String() string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		fmt.Fprintln(&buf, l)
+	}
+	if len(r.ShapeChecks) > 0 {
+		fmt.Fprintln(&buf, "-- shape checks --")
+		for _, c := range r.ShapeChecks {
+			status := "PASS"
+			if !c.Pass {
+				status = "FAIL"
+			}
+			fmt.Fprintf(&buf, "[%s] %s (%s)\n", status, c.Claim, c.Note)
+		}
+	}
+	return buf.String()
+}
+
+// Passed reports whether all shape checks passed.
+func (r *Report) Passed() bool {
+	for _, c := range r.ShapeChecks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Markdown renders the report as a Markdown section for EXPERIMENTS.md.
+func (r *Report) Markdown() string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "### %s — %s\n\n```\n", strings.ToUpper(r.ID[:1])+r.ID[1:], r.Title)
+	for _, l := range r.Lines {
+		fmt.Fprintln(&buf, l)
+	}
+	fmt.Fprint(&buf, "```\n")
+	if len(r.ShapeChecks) > 0 {
+		fmt.Fprint(&buf, "\n| Paper claim | Reproduced | Notes |\n|---|---|---|\n")
+		for _, c := range r.ShapeChecks {
+			status := "yes"
+			if !c.Pass {
+				status = "**no**"
+			}
+			fmt.Fprintf(&buf, "| %s | %s | %s |\n", c.Claim, status, c.Note)
+		}
+	}
+	return buf.String()
+}
+
+// IDs lists the known experiment identifiers in paper order.
+func IDs() []string {
+	return []string{"listing1", "fig3", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations"}
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"caligo/internal/apps/cleverleaf"
+	"caligo/internal/apps/paradis"
+)
+
+// smallCaseStudy is a fast configuration that still exhibits the paper's
+// workload shapes.
+func smallCaseStudy() CaseStudyConfig {
+	return CaseStudyConfig{
+		App: cleverleaf.Config{Ranks: 18, Timesteps: 40, Levels: 3,
+			WorkScale: 1, VirtualTime: true},
+		SampleHz: 2000,
+	}
+}
+
+func requirePass(t *testing.T, r *Report, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("shape checks failed:\n%s", r)
+	}
+	if len(r.Lines) == 0 {
+		t.Error("report has no data lines")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	r := &Report{ID: "figX", Title: "demo"}
+	r.Addf("line %d", 1)
+	r.Check("claim", true, "note %d", 2)
+	r.Check("bad claim", false, "oops")
+	s := r.String()
+	if !strings.Contains(s, "figX") || !strings.Contains(s, "[PASS] claim") ||
+		!strings.Contains(s, "[FAIL] bad claim") {
+		t.Errorf("String() = %s", s)
+	}
+	if r.Passed() {
+		t.Error("Passed should be false with a failing check")
+	}
+	md := r.Markdown()
+	if !strings.Contains(md, "###") || !strings.Contains(md, "| claim | yes |") {
+		t.Errorf("Markdown() = %s", md)
+	}
+	if len(IDs()) != 10 {
+		t.Errorf("IDs = %v", IDs())
+	}
+}
+
+func TestListing1(t *testing.T) {
+	rep, err := Listing1()
+	requirePass(t, rep, err)
+	if len(rep.Lines) != 9 { // header + 8 rows
+		t.Errorf("lines = %d:\n%s", len(rep.Lines), rep)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rep, err := Ablations()
+	requirePass(t, rep, err)
+}
+
+func TestOverheadStudySmall(t *testing.T) {
+	cfg := OverheadConfig{
+		App:      cleverleaf.Config{Ranks: 2, Timesteps: 12, Levels: 3, WorkScale: 0.4},
+		Runs:     1,
+		SampleHz: 500,
+	}
+	rows, err := RunOverheadStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9 configurations", len(rows))
+	}
+	byName := map[string]OverheadRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.Mean <= 0 {
+			t.Errorf("%s: zero runtime", r.Name)
+		}
+	}
+	// event-mode trace stores every snapshot
+	tr := byName["trace (event)"]
+	if tr.OutputRecords != int(tr.Snapshots) {
+		t.Errorf("trace: %d outputs vs %d snapshots", tr.OutputRecords, tr.Snapshots)
+	}
+	// aggregation schemes order: B < A < C output records
+	a, b, c := byName["scheme A (event)"], byName["scheme B (event)"], byName["scheme C (event)"]
+	if !(b.OutputRecords < a.OutputRecords && a.OutputRecords < c.OutputRecords) {
+		t.Errorf("output records: B=%d A=%d C=%d, want B<A<C",
+			b.OutputRecords, a.OutputRecords, c.OutputRecords)
+	}
+	// all event-mode configs see the same snapshot count
+	if a.Snapshots != tr.Snapshots || b.Snapshots != tr.Snapshots || c.Snapshots != tr.Snapshots {
+		t.Errorf("event snapshot counts differ: trace=%d A=%d B=%d C=%d",
+			tr.Snapshots, a.Snapshots, b.Snapshots, c.Snapshots)
+	}
+	// Table I report built from the same rows
+	rep := TableIFromRows(rows)
+	if !rep.Passed() {
+		t.Errorf("Table I shape checks failed:\n%s", rep)
+	}
+}
+
+func TestFigure4Scaling(t *testing.T) {
+	cfg := ScalingConfig{
+		RankCounts: []int{1, 4, 16, 64},
+		Dataset:    paradis.Config{Kernels: 12, MPIFunctions: 6, Iterations: 5, ExtraRecords: 3},
+	}
+	rep, err := Figure4(cfg)
+	requirePass(t, rep, err)
+}
+
+func TestFigure4PaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-shape dataset in -short mode")
+	}
+	cfg := DefaultScalingConfig()
+	cfg.RankCounts = []int{1, 4, 16, 64}
+	rep, err := Figure4(cfg)
+	requirePass(t, rep, err)
+	// the evaluation query must produce the paper's 85 rows
+	found := false
+	for _, c := range rep.ShapeChecks {
+		if strings.Contains(c.Claim, "85") && c.Pass {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("85-row check missing or failed:\n%s", rep)
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study in -short mode")
+	}
+	rep, err := Figure5(smallCaseStudy())
+	requirePass(t, rep, err)
+}
+
+func TestFigure6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study in -short mode")
+	}
+	rep, err := Figure6(smallCaseStudy())
+	requirePass(t, rep, err)
+}
+
+func TestFigure7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study in -short mode")
+	}
+	rep, err := Figure7(smallCaseStudy())
+	requirePass(t, rep, err)
+}
+
+func TestFigures8And9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study in -short mode")
+	}
+	cfg := smallCaseStudy()
+	reg, recs, err := caseStudyFullProfile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep8, err := figure8From(cfg, reg, recs)
+	requirePass(t, rep8, err)
+	rep9, err := figure9From(cfg, reg, recs)
+	requirePass(t, rep9, err)
+}
+
+func TestScalingErrors(t *testing.T) {
+	if _, err := RunScalingStudy(ScalingConfig{}); err == nil {
+		t.Error("empty rank counts should error")
+	}
+	bad := ScalingConfig{RankCounts: []int{2}, Query: "FROB",
+		Dataset: paradis.Config{Kernels: 1, MPIFunctions: 1, Iterations: 1}}
+	if _, err := RunScalingStudy(bad); err == nil {
+		t.Error("bad query should error")
+	}
+}

@@ -1,0 +1,168 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestFIFOPerSenderTag: messages between one (src,dst) pair with the same
+// tag are received in send order (MPI's non-overtaking guarantee).
+func TestFIFOPerSenderTag(t *testing.T) {
+	const n = 200
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 9, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			data, _, err := c.Recv(0, 9)
+			if err != nil {
+				return err
+			}
+			if data[0] != byte(i) {
+				return fmt.Errorf("message %d arrived out of order (got %d)", i, data[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterleavedTagsPreserveOrder: receiving tag B before tag A must not
+// reorder messages within either tag.
+func TestInterleavedTagsPreserveOrder(t *testing.T) {
+	const n = 50
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 1, []byte{byte(i)}); err != nil {
+					return err
+				}
+				if err := c.Send(1, 2, []byte{byte(100 + i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// drain tag 2 first, then tag 1
+		for i := 0; i < n; i++ {
+			d, _, err := c.Recv(0, 2)
+			if err != nil {
+				return err
+			}
+			if d[0] != byte(100+i) {
+				return fmt.Errorf("tag2 msg %d out of order", i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			d, _, err := c.Recv(0, 1)
+			if err != nil {
+				return err
+			}
+			if d[0] != byte(i) {
+				return fmt.Errorf("tag1 msg %d out of order", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBcastDeliversToAll: broadcast from random roots delivers the
+// root's payload everywhere.
+func TestQuickBcastDeliversToAll(t *testing.T) {
+	f := func(sizeSel, rootSel uint8, payload []byte) bool {
+		p := int(sizeSel%12) + 1
+		root := int(rootSel) % p
+		w, _ := NewWorld(p)
+		ok := true
+		err := w.Run(func(c *Comm) error {
+			var data []byte
+			if c.Rank() == root {
+				data = payload
+			}
+			got, err := c.Bcast(root, data)
+			if err != nil {
+				return err
+			}
+			if string(got) != string(payload) {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBarrierVirtualClockSynchronizes: after a barrier, every rank's
+// virtual clock is at least the straggler's pre-barrier time.
+func TestBarrierVirtualClockSynchronizes(t *testing.T) {
+	const p = 6
+	const stragglerTime = 5e6
+	w, _ := NewWorld(p)
+	clocks := make([]float64, p)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 2 {
+			c.Advance(stragglerTime)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		clocks[c.Rank()] = c.Clock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, clk := range clocks {
+		if clk < stragglerTime {
+			t.Errorf("rank %d clock %v < straggler's %v after barrier", r, clk, stragglerTime)
+		}
+	}
+}
+
+// TestAllreduceClockUniformish: allreduce leaves all ranks with the result
+// and clocks beyond the slowest input chain.
+func TestAllreduceVirtualClocks(t *testing.T) {
+	const p = 8
+	w, _ := NewWorld(p)
+	err := w.Run(func(c *Comm) error {
+		c.Advance(float64(c.Rank()) * 1000)
+		res, err := c.Allreduce(u64(1), sumCombine)
+		if err != nil {
+			return err
+		}
+		if got := le64(res); got != p {
+			return fmt.Errorf("allreduce = %d", got)
+		}
+		if c.Clock() < float64(p-1)*1000 {
+			return fmt.Errorf("rank %d clock %v below slowest input", c.Rank(), c.Clock())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,323 @@
+// Package pquery implements the scalable MPI-based query application of
+// Section IV-C: each process is assigned a subset of the input datasets
+// and first applies the query locally; the processes are then organized
+// in a tree based on their rank and perform a logarithmic reduction —
+// leaf processes send local aggregation results to their parent, where
+// the partial results are aggregated again, level by level up to the
+// root process.
+//
+// The MPI layer is emulated (internal/mpi); the reduction tree and the
+// per-level deserialize → aggregate → serialize steps are identical to a
+// real MPI deployment.
+package pquery
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"caligo/internal/attr"
+	"caligo/internal/calformat"
+	"caligo/internal/calql"
+	"caligo/internal/contexttree"
+	"caligo/internal/core"
+	"caligo/internal/mpi"
+	"caligo/internal/query"
+	"caligo/internal/snapshot"
+)
+
+// Timing reports the phase breakdown the paper's Figure 4 plots: the time
+// to read and process process-local input, the time for the tree-based
+// cross-process reduction, and the total. Virtual times come from the MPI
+// cost model and reflect the emulated network; wall times are host
+// measurements.
+type Timing struct {
+	LocalWall  time.Duration // rank 0's local read+process time
+	TotalWall  time.Duration // wall time of the whole job
+	LocalVirt  float64       // ns, rank 0 local phase on the virtual clock
+	ReduceVirt float64       // ns, reduction phase on the virtual clock
+	TotalVirt  float64       // ns, LocalVirt + ReduceVirt
+}
+
+// Result is the outcome of a parallel query, valid on the root.
+type Result struct {
+	Rows   []snapshot.FlatRecord
+	Reg    *attr.Registry // registry the rows resolve against
+	Query  *calql.Query
+	Timing Timing
+	// RecordsProcessed counts input records across all ranks.
+	RecordsProcessed uint64
+}
+
+// InputProvider supplies the dataset assigned to one rank as a reader of
+// .cali stream data. Returning a nil reader means the rank has no input.
+type InputProvider func(rank int) (io.ReadCloser, error)
+
+// reduceFanin is the tree arity; the paper uses a binary ("logarithmic")
+// reduction. RunFanin exposes other arities for the ablation bench.
+const defaultFanin = 2
+
+// Virtual-clock cost model for the query application's compute phases.
+// Host wall-clock measurements are unusable for the scaling figure when
+// hundreds of emulated ranks time-share few cores (a goroutine's wall time
+// then includes its peers' execution), so the virtual clock charges
+// deterministic per-record and per-bucket costs calibrated to the real
+// single-rank throughput of the engine. Wall times are still reported.
+const (
+	// perRecordNs is the modeled cost of reading and aggregating one
+	// input snapshot record.
+	perRecordNs = 3000
+	// mergeBaseNs is the fixed cost of one pairwise partial-result merge.
+	mergeBaseNs = 20000
+	// perBucketNs is the per-aggregation-record cost of a merge.
+	perBucketNs = 250
+)
+
+// Run executes the query across the world, assigning each rank the input
+// from provider, and returns the root's result.
+func Run(world *mpi.World, queryText string, provider InputProvider) (*Result, error) {
+	return RunFanin(world, queryText, provider, defaultFanin)
+}
+
+// RunFanin is Run with a configurable reduction-tree fan-in.
+func RunFanin(world *mpi.World, queryText string, provider InputProvider, fanin int) (*Result, error) {
+	q, err := calql.Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	var result *Result
+	start := time.Now()
+	err = world.Run(func(c *mpi.Comm) error {
+		res, err := runRank(c, q, provider, fanin)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			result = res
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if result == nil {
+		return nil, fmt.Errorf("pquery: no result produced at root")
+	}
+	result.Timing.TotalWall = time.Since(start)
+	return result, nil
+}
+
+// runRank is the per-rank program: local aggregation, then tree reduce.
+func runRank(c *mpi.Comm, q *calql.Query, provider InputProvider, fanin int) (*Result, error) {
+	// Each rank has its own registry and context tree — per-process
+	// address spaces, as in the real tool.
+	reg := attr.NewRegistry()
+	tree := contexttree.New()
+	eng, err := query.New(q, reg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: read and process process-local input.
+	localStart := time.Now()
+	var processed uint64
+	in, err := provider(c.Rank())
+	if err != nil {
+		return nil, fmt.Errorf("rank %d: open input: %w", c.Rank(), err)
+	}
+	if in != nil {
+		rd := calformat.NewReader(in, reg, tree)
+		for {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				in.Close()
+				return nil, fmt.Errorf("rank %d: read input: %w", c.Rank(), err)
+			}
+			processed++
+			if err := eng.Process(rec); err != nil {
+				in.Close()
+				return nil, err
+			}
+		}
+		if err := in.Close(); err != nil {
+			return nil, err
+		}
+	}
+	localWall := time.Since(localStart)
+	// charge the local phase to the virtual clock with the deterministic
+	// cost model (see perRecordNs)
+	c.Advance(float64(processed) * perRecordNs)
+	localVirt := c.Clock()
+
+	if q.HasAggregation() {
+		return reduceAggregated(c, q, eng, fanin, localWall, localVirt, processed)
+	}
+	return gatherRows(c, q, eng, reg, localWall, localVirt, processed)
+}
+
+// countedPayload frames a DB state with the rank-processed record count.
+type countedPayload struct {
+	state     []byte
+	processed uint64
+}
+
+func encodePayload(p countedPayload) []byte {
+	out := make([]byte, 8+len(p.state))
+	for i := 0; i < 8; i++ {
+		out[i] = byte(p.processed >> (8 * i))
+	}
+	copy(out[8:], p.state)
+	return out
+}
+
+func decodePayload(b []byte) (countedPayload, error) {
+	if len(b) < 8 {
+		return countedPayload{}, fmt.Errorf("pquery: truncated payload")
+	}
+	var n uint64
+	for i := 0; i < 8; i++ {
+		n |= uint64(b[i]) << (8 * i)
+	}
+	return countedPayload{state: b[8:], processed: n}, nil
+}
+
+// reduceAggregated performs the tree reduction of aggregation databases.
+func reduceAggregated(c *mpi.Comm, q *calql.Query, eng *query.Engine, fanin int,
+	localWall time.Duration, localVirt float64, processed uint64) (*Result, error) {
+
+	scheme := eng.DB().Scheme()
+	payload := encodePayload(countedPayload{
+		state:     eng.DB().EncodeState(),
+		processed: processed,
+	})
+
+	combine := func(a, b []byte) ([]byte, error) {
+		pa, err := decodePayload(a)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := decodePayload(b)
+		if err != nil {
+			return nil, err
+		}
+		reg := attr.NewRegistry()
+		db, err := core.NewDB(scheme, reg)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.MergeEncodedState(pa.state); err != nil {
+			return nil, err
+		}
+		if err := db.MergeEncodedState(pb.state); err != nil {
+			return nil, err
+		}
+		out := encodePayload(countedPayload{
+			state:     db.EncodeState(),
+			processed: pa.processed + pb.processed,
+		})
+		// charge merge compute to the combining rank's virtual clock
+		// (deterministic model, see mergeBaseNs/perBucketNs)
+		c.Advance(mergeBaseNs + perBucketNs*float64(db.Len()))
+		return out, nil
+	}
+
+	final, err := c.ReduceFanin(0, payload, combine, fanin)
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank() != 0 {
+		return nil, nil
+	}
+	p, err := decodePayload(final)
+	if err != nil {
+		return nil, err
+	}
+	rootReg := attr.NewRegistry()
+	rootDB, err := core.NewDB(scheme, rootReg)
+	if err != nil {
+		return nil, err
+	}
+	if err := rootDB.MergeEncodedState(p.state); err != nil {
+		return nil, err
+	}
+	rows, err := rootDB.FlushRecords()
+	if err != nil {
+		return nil, err
+	}
+	rows = query.Finalize(q, rootReg, rows)
+	return &Result{
+		Rows:             rows,
+		Reg:              rootReg,
+		Query:            q,
+		RecordsProcessed: p.processed,
+		Timing: Timing{
+			LocalWall:  localWall,
+			LocalVirt:  localVirt,
+			ReduceVirt: c.Clock() - localVirt,
+			TotalVirt:  c.Clock(),
+		},
+	}, nil
+}
+
+// gatherRows collects filtered rows at the root for non-aggregating
+// queries, encoded as .cali stream fragments.
+func gatherRows(c *mpi.Comm, q *calql.Query, eng *query.Engine, reg *attr.Registry,
+	localWall time.Duration, localVirt float64, processed uint64) (*Result, error) {
+
+	rows, err := eng.Results()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	w := calformat.NewWriter(&buf, reg, contexttree.New())
+	for _, r := range rows {
+		if err := w.WriteFlat(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	blob := buf.Bytes()
+	gathered, err := c.Gather(0, encodePayload(countedPayload{state: blob, processed: processed}))
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank() != 0 {
+		return nil, nil
+	}
+	rootReg := attr.NewRegistry()
+	rootTree := contexttree.New()
+	var all []snapshot.FlatRecord
+	var total uint64
+	for _, g := range gathered {
+		p, err := decodePayload(g)
+		if err != nil {
+			return nil, err
+		}
+		total += p.processed
+		rd := calformat.NewReader(bytes.NewReader(p.state), rootReg, rootTree)
+		recs, err := rd.ReadAll()
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, recs...)
+	}
+	all = query.Finalize(q, rootReg, all)
+	return &Result{
+		Rows:             all,
+		Reg:              rootReg,
+		Query:            q,
+		RecordsProcessed: total,
+		Timing: Timing{
+			LocalWall:  localWall,
+			LocalVirt:  localVirt,
+			ReduceVirt: c.Clock() - localVirt,
+			TotalVirt:  c.Clock(),
+		},
+	}, nil
+}

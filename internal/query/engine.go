@@ -1,0 +1,355 @@
+// Package query executes parsed CalQL queries over record streams: it
+// applies LET preprocessing, WHERE filtering, aggregation (through
+// internal/core), projection, ordering, and output formatting. It is the
+// engine behind off-line cross-process aggregation and analytical
+// aggregation (Section IV-C) and is reused verbatim by the on-line
+// aggregation service — the same description language drives both, which
+// is the paper's central design point.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"caligo/internal/attr"
+	"caligo/internal/calql"
+	"caligo/internal/core"
+	"caligo/internal/snapshot"
+)
+
+// Engine executes one query over a stream of records.
+type Engine struct {
+	q   *calql.Query
+	reg *attr.Registry
+
+	db   *core.DB              // nil when the query does not aggregate
+	rows []snapshot.FlatRecord // collected rows for non-aggregating queries
+	lets []resolvedLet
+}
+
+// resolvedLet caches the derived attribute handle for a LET definition.
+type resolvedLet struct {
+	def  calql.LetDef
+	attr attr.Attribute
+}
+
+// New prepares an engine for the query. The registry is shared with the
+// record producers (readers or the runtime).
+func New(q *calql.Query, reg *attr.Registry) (*Engine, error) {
+	e := &Engine{q: q, reg: reg}
+	if q.HasAggregation() {
+		scheme, err := q.Scheme()
+		if err != nil {
+			return nil, err
+		}
+		db, err := core.NewDB(scheme, reg)
+		if err != nil {
+			return nil, err
+		}
+		e.db = db
+	}
+	for _, def := range q.Lets {
+		var typ attr.Type
+		switch def.Kind {
+		case calql.LetScale, calql.LetTruncate:
+			typ = attr.Float
+		case calql.LetFirst:
+			typ = attr.String
+		}
+		a, err := reg.Create(def.Name, typ, attr.AsValue)
+		if err != nil {
+			return nil, fmt.Errorf("query: LET %s: %w", def.Name, err)
+		}
+		e.lets = append(e.lets, resolvedLet{def: def, attr: a})
+	}
+	return e, nil
+}
+
+// MustNew is New panicking on error, for static pipelines.
+func MustNew(q *calql.Query, reg *attr.Registry) *Engine {
+	e, err := New(q, reg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// DB exposes the engine's aggregation database (nil for non-aggregating
+// queries). The parallel query application uses it for tree reduction.
+func (e *Engine) DB() *core.DB { return e.db }
+
+// Process feeds one record through the query pipeline.
+func (e *Engine) Process(rec snapshot.FlatRecord) error {
+	rec = e.applyLets(rec)
+	if !e.matches(rec) {
+		return nil
+	}
+	if e.db != nil {
+		e.db.Update(rec)
+		return nil
+	}
+	e.rows = append(e.rows, rec)
+	return nil
+}
+
+// ProcessAll feeds a record slice through the pipeline.
+func (e *Engine) ProcessAll(recs []snapshot.FlatRecord) error {
+	for _, r := range recs {
+		if err := e.Process(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyLets appends derived entries to the record.
+func (e *Engine) applyLets(rec snapshot.FlatRecord) snapshot.FlatRecord {
+	if len(e.lets) == 0 {
+		return rec
+	}
+	out := rec
+	for _, l := range e.lets {
+		switch l.def.Kind {
+		case calql.LetScale:
+			if v, ok := out.GetByName(l.def.Args[0]); ok {
+				out = append(out, attr.Entry{Attr: l.attr,
+					Value: attr.FloatV(v.AsFloat() * l.def.Factor)})
+			}
+		case calql.LetTruncate:
+			if v, ok := out.GetByName(l.def.Args[0]); ok {
+				step := l.def.Factor
+				out = append(out, attr.Entry{Attr: l.attr,
+					Value: attr.FloatV(math.Floor(v.AsFloat()/step) * step)})
+			}
+		case calql.LetFirst:
+			for _, src := range l.def.Args {
+				if v, ok := out.GetByName(src); ok {
+					out = append(out, attr.Entry{Attr: l.attr,
+						Value: attr.StringV(v.String())})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// matches evaluates all WHERE conditions (AND semantics).
+func (e *Engine) matches(rec snapshot.FlatRecord) bool {
+	for _, c := range e.q.Where {
+		if !EvalCondition(c, rec) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalCondition evaluates one predicate over a record. It is exported for
+// the runtime's on-line aggregation service, which applies WHERE filters
+// to snapshot records before aggregating.
+func EvalCondition(c calql.Condition, rec snapshot.FlatRecord) bool {
+	v, present := rec.GetByName(c.Attr)
+	var result bool
+	switch c.Op {
+	case calql.CondExist:
+		result = present
+	default:
+		if !present {
+			// comparisons against an absent attribute are false (and
+			// not(...) of them true)
+			return c.Negate
+		}
+		cmp := compareToLiteral(v, c.Value)
+		switch c.Op {
+		case calql.CondEq:
+			result = cmp == 0
+		case calql.CondLt:
+			result = cmp < 0
+		case calql.CondLe:
+			result = cmp <= 0
+		case calql.CondGt:
+			result = cmp > 0
+		case calql.CondGe:
+			result = cmp >= 0
+		}
+	}
+	if c.Negate {
+		return !result
+	}
+	return result
+}
+
+// compareToLiteral compares a record value against a query literal,
+// numerically when the record value is numeric and the literal parses as a
+// number, textually otherwise.
+func compareToLiteral(v attr.Variant, lit string) int {
+	switch v.Kind() {
+	case attr.Int, attr.Uint, attr.Float, attr.Bool:
+		if lv, err := attr.ParseAs(lit, attr.Float); err == nil {
+			return attr.Compare(attr.FloatV(v.AsFloat()), lv)
+		}
+	}
+	return attr.Compare(attr.StringV(v.String()), attr.StringV(lit))
+}
+
+// Results finalizes the query: flushes the aggregation database (if any),
+// evaluates post-aggregation operators, and applies ORDER BY and LIMIT.
+func (e *Engine) Results() ([]snapshot.FlatRecord, error) {
+	var rows []snapshot.FlatRecord
+	if e.db != nil {
+		var err error
+		rows, err = e.db.FlushRecords()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rows = e.rows
+	}
+	rows, err := ApplyPostOps(e.q, e.reg, rows)
+	if err != nil {
+		return nil, err
+	}
+	if len(e.q.OrderBy) > 0 {
+		sortRows(rows, resolveOrderAliases(e.q))
+	}
+	if e.q.Limit >= 0 && len(rows) > e.q.Limit {
+		rows = rows[:e.q.Limit]
+	}
+	return rows, nil
+}
+
+// resolveOrderAliases maps ORDER BY labels through SELECT ... AS aliases,
+// so "SELECT sum#x AS total ... ORDER BY total" works.
+func resolveOrderAliases(q *calql.Query) []calql.OrderItem {
+	if len(q.Select) == 0 {
+		return q.OrderBy
+	}
+	byAlias := map[string]string{}
+	for _, s := range q.Select {
+		if s.Alias != "" {
+			byAlias[s.Alias] = s.Label
+		}
+	}
+	if len(byAlias) == 0 {
+		return q.OrderBy
+	}
+	out := make([]calql.OrderItem, len(q.OrderBy))
+	copy(out, q.OrderBy)
+	for i := range out {
+		if label, ok := byAlias[out[i].Label]; ok {
+			out[i].Label = label
+		}
+	}
+	return out
+}
+
+// postOpInput reads the column a post-op refers to: the named attribute
+// itself, or its sum#-result when the name refers to a raw attribute that
+// was aggregated.
+func postOpInput(row snapshot.FlatRecord, target string) (float64, bool) {
+	if v, ok := row.GetByName(target); ok {
+		return v.AsFloat(), true
+	}
+	if v, ok := row.GetByName("sum#" + target); ok {
+		return v.AsFloat(), true
+	}
+	return 0, false
+}
+
+// ApplyPostOps evaluates a query's post-aggregation operators
+// (percent_total, ratio) over the result rows, appending one derived
+// entry per row. Exported for the parallel query path, which finalizes
+// rows outside an Engine.
+func ApplyPostOps(q *calql.Query, reg *attr.Registry, rows []snapshot.FlatRecord) ([]snapshot.FlatRecord, error) {
+	for _, po := range q.PostOps {
+		a, err := reg.Create(po.ResultName(), attr.Float, attr.AsValue|attr.SkipEvents)
+		if err != nil {
+			return nil, fmt.Errorf("query: %s: %w", po.ResultName(), err)
+		}
+		switch po.Kind {
+		case calql.PostPercentTotal:
+			total := 0.0
+			for _, row := range rows {
+				if v, ok := postOpInput(row, po.Target); ok {
+					total += v
+				}
+			}
+			if total == 0 {
+				continue
+			}
+			for i, row := range rows {
+				if v, ok := postOpInput(row, po.Target); ok {
+					rows[i] = append(row, attr.Entry{Attr: a,
+						Value: attr.FloatV(100 * v / total)})
+				}
+			}
+		case calql.PostRatio:
+			for i, row := range rows {
+				num, okN := postOpInput(row, po.Target)
+				den, okD := postOpInput(row, po.Target2)
+				if okN && okD && den != 0 {
+					rows[i] = append(row, attr.Entry{Attr: a,
+						Value: attr.FloatV(num / den)})
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// sortRows orders rows by the given keys. Missing values sort first.
+func sortRows(rows []snapshot.FlatRecord, keys []calql.OrderItem) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			vi, oki := rows[i].GetByName(k.Label)
+			vj, okj := rows[j].GetByName(k.Label)
+			var cmp int
+			switch {
+			case !oki && !okj:
+				cmp = 0
+			case !oki:
+				cmp = -1
+			case !okj:
+				cmp = 1
+			default:
+				cmp = attr.Compare(vi, vj)
+			}
+			if k.Descending {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}
+
+// Finalize applies a query's post-aggregation operators and its ORDER BY
+// and LIMIT clauses to result rows produced elsewhere (e.g. by the
+// parallel cross-process reduction, which aggregates outside an Engine).
+func Finalize(q *calql.Query, reg *attr.Registry, rows []snapshot.FlatRecord) []snapshot.FlatRecord {
+	if out, err := ApplyPostOps(q, reg, rows); err == nil {
+		rows = out
+	}
+	if len(q.OrderBy) > 0 {
+		sortRows(rows, resolveOrderAliases(q))
+	}
+	if q.Limit >= 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	return rows
+}
+
+// Run is a convenience wrapper: process all records and return results.
+func Run(q *calql.Query, reg *attr.Registry, recs []snapshot.FlatRecord) ([]snapshot.FlatRecord, error) {
+	e, err := New(q, reg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.ProcessAll(recs); err != nil {
+		return nil, err
+	}
+	return e.Results()
+}

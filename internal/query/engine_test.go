@@ -1,0 +1,426 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"caligo/internal/attr"
+	"caligo/internal/calformat"
+	"caligo/internal/calql"
+	"caligo/internal/contexttree"
+	"caligo/internal/snapshot"
+)
+
+// readCali parses a .cali stream into flat records using reg.
+func readCali(t *testing.T, stream string, reg *attr.Registry) []snapshot.FlatRecord {
+	t.Helper()
+	rd := calformat.NewReader(strings.NewReader(stream), reg, contexttree.New())
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("readCali: %v", err)
+	}
+	return recs
+}
+
+type fixture struct {
+	reg    *attr.Registry
+	kernel attr.Attribute
+	mpifn  attr.Attribute
+	rank   attr.Attribute
+	dur    attr.Attribute
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	reg := attr.NewRegistry()
+	return &fixture{
+		reg:    reg,
+		kernel: reg.MustCreate("kernel", attr.String, attr.Nested),
+		mpifn:  reg.MustCreate("mpi.function", attr.String, 0),
+		rank:   reg.MustCreate("mpi.rank", attr.Int, 0),
+		dur:    reg.MustCreate("time.duration", attr.Int, attr.AsValue|attr.Aggregatable),
+	}
+}
+
+func (fx *fixture) rec(kernel, mpifn string, rank, dur int64) snapshot.FlatRecord {
+	var r snapshot.FlatRecord
+	if kernel != "" {
+		r = append(r, attr.Entry{Attr: fx.kernel, Value: attr.StringV(kernel)})
+	}
+	if mpifn != "" {
+		r = append(r, attr.Entry{Attr: fx.mpifn, Value: attr.StringV(mpifn)})
+	}
+	if rank >= 0 {
+		r = append(r, attr.Entry{Attr: fx.rank, Value: attr.IntV(rank)})
+	}
+	r = append(r, attr.Entry{Attr: fx.dur, Value: attr.IntV(dur)})
+	return r
+}
+
+func (fx *fixture) sampleData() []snapshot.FlatRecord {
+	return []snapshot.FlatRecord{
+		fx.rec("advec-mom", "", 0, 10),
+		fx.rec("advec-mom", "", 0, 20),
+		fx.rec("advec-mom", "", 1, 15),
+		fx.rec("calc-dt", "", 0, 100),
+		fx.rec("calc-dt", "", 1, 120),
+		fx.rec("", "MPI_Barrier", 0, 50),
+		fx.rec("", "MPI_Barrier", 1, 60),
+		fx.rec("", "MPI_Allreduce", 0, 30),
+	}
+}
+
+func runQuery(t *testing.T, fx *fixture, qs string, recs []snapshot.FlatRecord) []snapshot.FlatRecord {
+	t.Helper()
+	q, err := calql.Parse(qs)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", qs, err)
+	}
+	rows, err := Run(q, fx.reg, recs)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", qs, err)
+	}
+	return rows
+}
+
+func TestAggregateGroupBy(t *testing.T) {
+	fx := newFixture(t)
+	rows := runQuery(t, fx, "AGGREGATE count, sum(time.duration) GROUP BY kernel", fx.sampleData())
+	got := map[string][2]int64{}
+	for _, r := range rows {
+		k, _ := r.GetByName("kernel")
+		c, _ := r.GetByName("aggregate.count")
+		s, _ := r.GetByName("sum#time.duration")
+		got[k.String()] = [2]int64{c.AsInt(), s.AsInt()}
+	}
+	want := map[string][2]int64{
+		"advec-mom": {3, 45},
+		"calc-dt":   {2, 220},
+		"":          {3, 140},
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("group %q = %v, want %v", k, got[k], w)
+		}
+	}
+}
+
+func TestWhereNotFiltersMPI(t *testing.T) {
+	// the paper's Fig. 8 query shape: exclude MPI records
+	fx := newFixture(t)
+	rows := runQuery(t, fx,
+		"AGGREGATE sum(time.duration) WHERE not(mpi.function) GROUP BY kernel",
+		fx.sampleData())
+	total := int64(0)
+	for _, r := range rows {
+		s, _ := r.GetByName("sum#time.duration")
+		total += s.AsInt()
+	}
+	if total != 265 { // all except the MPI rows (50+60+30)
+		t.Errorf("total = %d, want 265", total)
+	}
+}
+
+func TestWhereComparisons(t *testing.T) {
+	fx := newFixture(t)
+	data := fx.sampleData()
+	tests := []struct {
+		where string
+		want  int
+	}{
+		{"WHERE mpi.rank=0", 5},
+		{"WHERE mpi.rank!=0", 3},
+		{"WHERE mpi.rank<1", 5},
+		{"WHERE mpi.rank<=1", 8},
+		{"WHERE mpi.rank>0", 3},
+		{"WHERE mpi.rank>=1", 3},
+		{"WHERE kernel=calc-dt", 2},
+		{"WHERE not(kernel=calc-dt)", 6},
+		{"WHERE kernel, mpi.rank=0", 3},
+		{"WHERE time.duration>=100", 2},
+	}
+	for _, tt := range tests {
+		rows := runQuery(t, fx, "SELECT * "+tt.where, data)
+		if len(rows) != tt.want {
+			t.Errorf("%s: %d rows, want %d", tt.where, len(rows), tt.want)
+		}
+	}
+}
+
+func TestComparisonAgainstAbsentAttribute(t *testing.T) {
+	fx := newFixture(t)
+	data := []snapshot.FlatRecord{fx.rec("k", "", -1, 5)} // no rank
+	if rows := runQuery(t, fx, "SELECT * WHERE mpi.rank=0", data); len(rows) != 0 {
+		t.Error("comparison against absent attribute must not match")
+	}
+	if rows := runQuery(t, fx, "SELECT * WHERE not(mpi.rank=0)", data); len(rows) != 1 {
+		t.Error("negated comparison against absent attribute must match")
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	fx := newFixture(t)
+	rows := runQuery(t, fx,
+		"AGGREGATE sum(time.duration) GROUP BY kernel ORDER BY sum#time.duration DESC LIMIT 2",
+		fx.sampleData())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	k0, _ := rows[0].GetByName("kernel")
+	if k0.String() != "calc-dt" {
+		t.Errorf("top row = %q, want calc-dt", k0.String())
+	}
+	s0, _ := rows[0].GetByName("sum#time.duration")
+	s1, _ := rows[1].GetByName("sum#time.duration")
+	if s0.AsInt() < s1.AsInt() {
+		t.Error("descending order violated")
+	}
+}
+
+func TestOrderByMissingValuesFirst(t *testing.T) {
+	fx := newFixture(t)
+	rows := runQuery(t, fx,
+		"AGGREGATE count GROUP BY kernel ORDER BY kernel", fx.sampleData())
+	// the empty-kernel group has no kernel entry and must sort first
+	if _, ok := rows[0].GetByName("kernel"); ok {
+		t.Errorf("first row should be the missing-kernel group: %v", rows[0])
+	}
+}
+
+func TestLetScaleAndAggregate(t *testing.T) {
+	fx := newFixture(t)
+	rows := runQuery(t, fx,
+		"LET msec = scale(time.duration, 0.5) AGGREGATE sum(msec) GROUP BY kernel WHERE kernel=calc-dt",
+		fx.sampleData())
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	s, _ := rows[0].GetByName("sum#msec")
+	if s.AsFloat() != 110 { // (100+120)*0.5
+		t.Errorf("sum#msec = %v, want 110", s)
+	}
+}
+
+func TestLetTruncateBinsIterations(t *testing.T) {
+	fx := newFixture(t)
+	iter := fx.reg.MustCreate("iteration", attr.Int, 0)
+	var recs []snapshot.FlatRecord
+	for i := int64(0); i < 25; i++ {
+		recs = append(recs, snapshot.FlatRecord{
+			{Attr: iter, Value: attr.IntV(i)},
+			{Attr: fx.dur, Value: attr.IntV(1)},
+		})
+	}
+	rows := runQuery(t, fx,
+		"LET block = truncate(iteration, 10) AGGREGATE count GROUP BY block", recs)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 blocks", len(rows))
+	}
+	counts := map[string]int64{}
+	for _, r := range rows {
+		b, _ := r.GetByName("block")
+		c, _ := r.GetByName("aggregate.count")
+		counts[b.String()] = c.AsInt()
+	}
+	if counts["0"] != 10 || counts["10"] != 10 || counts["20"] != 5 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestLetFirstCoalesces(t *testing.T) {
+	fx := newFixture(t)
+	recs := []snapshot.FlatRecord{
+		fx.rec("k1", "", -1, 1),
+		fx.rec("", "MPI_Send", -1, 1),
+	}
+	rows := runQuery(t, fx,
+		"LET where = first(kernel, mpi.function) AGGREGATE count GROUP BY where", recs)
+	names := map[string]bool{}
+	for _, r := range rows {
+		v, _ := r.GetByName("where")
+		names[v.String()] = true
+	}
+	if !names["k1"] || !names["MPI_Send"] {
+		t.Errorf("groups = %v", names)
+	}
+}
+
+func TestSelectProjectionAndAlias(t *testing.T) {
+	fx := newFixture(t)
+	q := calql.MustParse("SELECT kernel, sum#time.duration AS time AGGREGATE sum(time.duration) GROUP BY kernel FORMAT csv")
+	e := MustNew(q, fx.reg)
+	if err := e.ProcessAll(fx.sampleData()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Execute(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "kernel,time" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 { // header + 3 groups
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	fx := newFixture(t)
+	q := calql.MustParse("AGGREGATE count GROUP BY kernel ORDER BY kernel")
+	e := MustNew(q, fx.reg)
+	e.ProcessAll(fx.sampleData())
+	var buf bytes.Buffer
+	if err := e.Execute(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "kernel") || !strings.Contains(out, "aggregate.count") {
+		t.Errorf("table output missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "advec-mom") || !strings.Contains(out, "calc-dt") {
+		t.Errorf("table output missing rows:\n%s", out)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	fx := newFixture(t)
+	q := calql.MustParse("AGGREGATE count, sum(time.duration) GROUP BY kernel FORMAT json")
+	e := MustNew(q, fx.reg)
+	e.ProcessAll(fx.sampleData())
+	var buf bytes.Buffer
+	if err := e.Execute(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 3 {
+		t.Errorf("rows = %d", len(out))
+	}
+	for _, obj := range out {
+		if obj["kernel"] == "calc-dt" {
+			if obj["sum#time.duration"].(float64) != 220 {
+				t.Errorf("calc-dt sum = %v", obj["sum#time.duration"])
+			}
+		}
+	}
+}
+
+func TestExpandFormat(t *testing.T) {
+	fx := newFixture(t)
+	q := calql.MustParse("SELECT * WHERE kernel=calc-dt FORMAT expand")
+	e := MustNew(q, fx.reg)
+	e.ProcessAll(fx.sampleData())
+	var buf bytes.Buffer
+	if err := e.Execute(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "kernel=calc-dt") {
+		t.Errorf("expand output:\n%s", buf.String())
+	}
+}
+
+func TestTreeFormat(t *testing.T) {
+	fx := newFixture(t)
+	// nested kernels: make a path main/sub
+	mk := func(path ...string) snapshot.FlatRecord {
+		var r snapshot.FlatRecord
+		for _, p := range path {
+			r = append(r, attr.Entry{Attr: fx.kernel, Value: attr.StringV(p)})
+		}
+		r = append(r, attr.Entry{Attr: fx.dur, Value: attr.IntV(1)})
+		return r
+	}
+	q := calql.MustParse("AGGREGATE count GROUP BY kernel FORMAT tree")
+	e := MustNew(q, fx.reg)
+	e.ProcessAll([]snapshot.FlatRecord{mk("main"), mk("main", "sub"), mk("main", "sub")})
+	var buf bytes.Buffer
+	if err := e.Execute(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "main") || !strings.Contains(out, "  sub") {
+		t.Errorf("tree output lacks indented child:\n%s", out)
+	}
+}
+
+func TestCaliFormatRoundTrips(t *testing.T) {
+	fx := newFixture(t)
+	q := calql.MustParse("AGGREGATE count, sum(time.duration) GROUP BY kernel FORMAT cali")
+	e := MustNew(q, fx.reg)
+	e.ProcessAll(fx.sampleData())
+	var buf bytes.Buffer
+	if err := e.Execute(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// feed the output into a second query (multi-stage workflow)
+	q2 := calql.MustParse("AGGREGATE sum(aggregate.count) GROUP BY kernel")
+	reg2 := attr.NewRegistry()
+	e2 := MustNew(q2, reg2)
+	recs := readCali(t, buf.String(), reg2)
+	e2.ProcessAll(recs)
+	rows, err := e2.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, r := range rows {
+		v, _ := r.GetByName("sum#aggregate.count")
+		total += v.AsInt()
+	}
+	if total != 8 {
+		t.Errorf("total re-aggregated count = %d, want 8", total)
+	}
+}
+
+func TestNonAggregatingSelect(t *testing.T) {
+	fx := newFixture(t)
+	rows := runQuery(t, fx, "SELECT * WHERE kernel ORDER BY time.duration DESC LIMIT 3", fx.sampleData())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	d0, _ := rows[0].GetByName("time.duration")
+	if d0.AsInt() != 120 {
+		t.Errorf("top duration = %v, want 120", d0)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	fx := newFixture(t)
+	rows := runQuery(t, fx, "AGGREGATE count GROUP BY kernel", nil)
+	if len(rows) != 0 {
+		t.Errorf("rows = %d, want 0", len(rows))
+	}
+	// formatting empty results must not fail
+	q := calql.MustParse("AGGREGATE count GROUP BY kernel")
+	e := MustNew(q, fx.reg)
+	var buf bytes.Buffer
+	if err := e.Execute(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	fx := newFixture(t)
+	// LET name conflicting with an existing attribute of different type
+	q := calql.MustParse("LET kernel = scale(time.duration, 2) AGGREGATE count GROUP BY kernel")
+	if _, err := New(q, fx.reg); err == nil {
+		t.Error("LET redefining a string attribute as float should error")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	fx := newFixture(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic")
+		}
+	}()
+	q := calql.MustParse("LET kernel = scale(x, 2) AGGREGATE count GROUP BY kernel")
+	MustNew(q, fx.reg)
+}

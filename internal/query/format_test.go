@@ -1,0 +1,156 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"caligo/internal/attr"
+	"caligo/internal/calql"
+	"caligo/internal/snapshot"
+)
+
+func render(t *testing.T, fx *fixture, queryText string, recs []snapshot.FlatRecord) string {
+	t.Helper()
+	q := calql.MustParse(queryText)
+	e := MustNew(q, fx.reg)
+	if err := e.ProcessAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Execute(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestTableNumericRightAlignment(t *testing.T) {
+	fx := newFixture(t)
+	out := render(t, fx,
+		"SELECT kernel, sum#time.duration AGGREGATE sum(time.duration) GROUP BY kernel WHERE kernel ORDER BY kernel",
+		fx.sampleData())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("table too short:\n%s", out)
+	}
+	// numeric column is right-aligned: every line ends with a digit, and
+	// the sums line up on the right edge
+	for _, l := range lines[1:] {
+		if l[len(l)-1] < '0' || l[len(l)-1] > '9' {
+			t.Errorf("line does not end in a digit: %q", l)
+		}
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	fx := newFixture(t)
+	weird := fx.reg.MustCreate("weird", attr.String, 0)
+	recs := []snapshot.FlatRecord{{
+		{Attr: weird, Value: attr.StringV(`has,comma "and quotes"`)},
+		{Attr: fx.dur, Value: attr.IntV(1)},
+	}}
+	out := render(t, fx, "SELECT * FORMAT csv", recs)
+	if !strings.Contains(out, `"has,comma ""and quotes"""`) {
+		t.Errorf("CSV escaping broken:\n%s", out)
+	}
+}
+
+func TestJSONMultiValueArrays(t *testing.T) {
+	fx := newFixture(t)
+	recs := []snapshot.FlatRecord{{
+		{Attr: fx.kernel, Value: attr.StringV("outer")},
+		{Attr: fx.kernel, Value: attr.StringV("inner")},
+		{Attr: fx.dur, Value: attr.IntV(5)},
+	}}
+	out := render(t, fx, "SELECT * FORMAT json", recs)
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(out), &rows); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	arr, ok := rows[0]["kernel"].([]any)
+	if !ok || len(arr) != 2 || arr[0] != "outer" {
+		t.Errorf("stacked values should become an array: %v", rows[0]["kernel"])
+	}
+	if rows[0]["time.duration"].(float64) != 5 {
+		t.Errorf("numeric value mangled: %v", rows[0]["time.duration"])
+	}
+}
+
+func TestTreeFormatDeepHierarchy(t *testing.T) {
+	fx := newFixture(t)
+	mk := func(path ...string) snapshot.FlatRecord {
+		var r snapshot.FlatRecord
+		for _, p := range path {
+			r = append(r, attr.Entry{Attr: fx.kernel, Value: attr.StringV(p)})
+		}
+		return append(r, attr.Entry{Attr: fx.dur, Value: attr.IntV(1)})
+	}
+	out := render(t, fx, "AGGREGATE count GROUP BY kernel FORMAT tree",
+		[]snapshot.FlatRecord{mk("a"), mk("a", "b"), mk("a", "b", "c"), mk("d")})
+	// depth-indented entries
+	if !strings.Contains(out, "\na") || !strings.Contains(out, "\n  b") ||
+		!strings.Contains(out, "\n    c") || !strings.Contains(out, "\nd") {
+		t.Errorf("tree structure wrong:\n%s", out)
+	}
+}
+
+func TestSelectStarWithExplicitColumns(t *testing.T) {
+	fx := newFixture(t)
+	out := render(t, fx, "SELECT kernel, * WHERE kernel FORMAT csv", fx.sampleData())
+	header := strings.SplitN(out, "\n", 2)[0]
+	cols := strings.Split(header, ",")
+	if cols[0] != "kernel" {
+		t.Errorf("explicit column not first: %q", header)
+	}
+	// kernel must not repeat in the expansion
+	count := 0
+	for _, c := range cols {
+		if c == "kernel" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("kernel repeated in header: %q", header)
+	}
+}
+
+func TestColumnsForDiscoveryOrder(t *testing.T) {
+	fx := newFixture(t)
+	out := render(t, fx, "SELECT * WHERE mpi.function FORMAT csv", fx.sampleData())
+	header := strings.SplitN(out, "\n", 2)[0]
+	// first-appearance order: mpi.function appears before time.duration
+	fnIdx := strings.Index(header, "mpi.function")
+	durIdx := strings.Index(header, "time.duration")
+	if fnIdx < 0 || durIdx < 0 || fnIdx > durIdx {
+		t.Errorf("column order wrong: %q", header)
+	}
+}
+
+func TestEmptyResultFormats(t *testing.T) {
+	fx := newFixture(t)
+	for _, format := range []string{"table", "csv", "json", "tree", "expand", "cali"} {
+		out := render(t, fx, "SELECT * WHERE kernel=nonexistent FORMAT "+format, fx.sampleData())
+		// must not fail; json yields an empty array
+		if format == "json" && !strings.Contains(out, "[]") {
+			t.Errorf("json empty result = %q", out)
+		}
+	}
+}
+
+func TestExpandFormatEntryOrder(t *testing.T) {
+	fx := newFixture(t)
+	recs := []snapshot.FlatRecord{{
+		{Attr: fx.kernel, Value: attr.StringV("k")},
+		{Attr: fx.rank, Value: attr.IntV(2)},
+		{Attr: fx.dur, Value: attr.IntV(7)},
+	}}
+	out := render(t, fx, "SELECT * FORMAT expand", recs)
+	want := "kernel=k,mpi.rank=2,time.duration=7\n"
+	if out != want {
+		t.Errorf("expand = %q, want %q", out, want)
+	}
+}

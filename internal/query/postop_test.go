@@ -1,0 +1,188 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"caligo/internal/calql"
+)
+
+func TestPercentTotal(t *testing.T) {
+	fx := newFixture(t)
+	rows := runQuery(t, fx,
+		"AGGREGATE sum(time.duration), percent_total(time.duration) GROUP BY kernel",
+		fx.sampleData())
+	total := 0.0
+	byKernel := map[string]float64{}
+	for _, r := range rows {
+		p, ok := r.GetByName("percent_total#time.duration")
+		if !ok {
+			t.Fatalf("row lacks percent_total: %s", r)
+		}
+		total += p.AsFloat()
+		k, _ := r.GetByName("kernel")
+		byKernel[k.String()] = p.AsFloat()
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Errorf("percentages sum to %v, want 100", total)
+	}
+	// calc-dt: 220 of 405 total
+	want := 100 * 220.0 / 405.0
+	if math.Abs(byKernel["calc-dt"]-want) > 1e-9 {
+		t.Errorf("calc-dt percent = %v, want %v", byKernel["calc-dt"], want)
+	}
+}
+
+func TestPercentTotalImplicitSum(t *testing.T) {
+	// percent_total alone must auto-add the sum reduction
+	fx := newFixture(t)
+	q := calql.MustParse("AGGREGATE percent_total(time.duration) GROUP BY kernel")
+	if len(q.Ops) != 1 || q.Ops[0].ResultName() != "sum#time.duration" {
+		t.Fatalf("implicit ops = %+v", q.Ops)
+	}
+	rows, err := Run(q, fx.reg, fx.sampleData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if _, ok := rows[0].GetByName("percent_total#time.duration"); !ok {
+		t.Errorf("missing percent column: %s", rows[0])
+	}
+}
+
+func TestRatio(t *testing.T) {
+	fx := newFixture(t)
+	rows := runQuery(t, fx,
+		"AGGREGATE count, sum(time.duration), ratio(time.duration, aggregate.count) AS avgtime GROUP BY kernel",
+		fx.sampleData())
+	for _, r := range rows {
+		k, _ := r.GetByName("kernel")
+		if k.String() != "calc-dt" {
+			continue
+		}
+		v, ok := r.GetByName("avgtime")
+		if !ok {
+			t.Fatalf("missing ratio column: %s", r)
+		}
+		// calc-dt: sum 220 over count 2
+		if math.Abs(v.AsFloat()-110) > 1e-9 {
+			t.Errorf("avgtime = %v, want 110", v.AsFloat())
+		}
+	}
+}
+
+func TestRatioZeroDenominatorSkipped(t *testing.T) {
+	fx := newFixture(t)
+	rows := runQuery(t, fx,
+		"AGGREGATE sum(time.duration), ratio(mpi.rank, time.duration) GROUP BY kernel",
+		fx.sampleData()[:1]) // single record, rank 0 → numerator sum 0 is fine
+	// denominators are nonzero here; flip: ratio with zero denominator
+	rows2 := runQuery(t, fx,
+		"AGGREGATE sum(mpi.rank), ratio(time.duration, mpi.rank) GROUP BY kernel",
+		fx.sampleData()[:2]) // ranks are 0 → sum#mpi.rank = 0
+	for _, r := range rows2 {
+		if _, ok := r.GetByName("ratio#time.duration/mpi.rank"); ok {
+			t.Errorf("zero denominator should omit the entry: %s", r)
+		}
+	}
+	_ = rows
+}
+
+func TestPostOpOrderBy(t *testing.T) {
+	fx := newFixture(t)
+	rows := runQuery(t, fx,
+		"AGGREGATE percent_total(time.duration) GROUP BY kernel ORDER BY percent_total#time.duration DESC",
+		fx.sampleData())
+	prev := math.Inf(1)
+	for _, r := range rows {
+		v, _ := r.GetByName("percent_total#time.duration")
+		if v.AsFloat() > prev {
+			t.Errorf("not sorted by percent: %v after %v", v.AsFloat(), prev)
+		}
+		prev = v.AsFloat()
+	}
+}
+
+func TestPostOpStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"AGGREGATE sum(x), percent_total(x) GROUP BY k",
+		"AGGREGATE sum(a), sum(b), ratio(a,b) AS r GROUP BY k",
+	}
+	for _, in := range queries {
+		q1, err := calql.Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		printed := q1.String()
+		q2, err := calql.Parse(printed)
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", printed, err)
+			continue
+		}
+		if q2.String() != printed {
+			t.Errorf("round trip: %q -> %q", printed, q2.String())
+		}
+	}
+}
+
+func TestPostOpParseErrors(t *testing.T) {
+	bad := []string{
+		"AGGREGATE percent_total GROUP BY k",
+		"AGGREGATE percent_total() GROUP BY k",
+		"AGGREGATE ratio(a) GROUP BY k",
+		"AGGREGATE ratio(a,b GROUP BY k",
+	}
+	for _, in := range bad {
+		if _, err := calql.Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestPostOpNonAggregatingRows(t *testing.T) {
+	// over raw (non-aggregated) rows, percent_total reads the attribute
+	// directly
+	fx := newFixture(t)
+	rows := runQuery(t, fx,
+		"SELECT * AGGREGATE percent_total(time.duration) WHERE kernel=advec-mom",
+		fx.sampleData())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	total := 0.0
+	for _, r := range rows {
+		v, ok := r.GetByName("percent_total#time.duration")
+		if !ok {
+			t.Fatalf("missing percent: %s", r)
+		}
+		total += v.AsFloat()
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Errorf("percent total = %v", total)
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	fx := newFixture(t)
+	rows := runQuery(t, fx,
+		"SELECT kernel, sum#time.duration AS total AGGREGATE sum(time.duration) "+
+			"WHERE kernel GROUP BY kernel ORDER BY total DESC",
+		fx.sampleData())
+	if len(rows) < 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	prev := int64(1 << 62)
+	for _, r := range rows {
+		v, ok := r.GetByName("sum#time.duration")
+		if !ok {
+			t.Fatalf("row lacks sum: %s", r)
+		}
+		if v.AsInt() > prev {
+			t.Errorf("ORDER BY alias not honored: %d after %d", v.AsInt(), prev)
+		}
+		prev = v.AsInt()
+	}
+}

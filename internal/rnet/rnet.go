@@ -1,0 +1,141 @@
+// Package rnet implements an on-line cross-process data reduction network
+// in the style of MRNet/CBTF, which the paper cites as the way on-line
+// solutions aggregate across processes (Section II-B): instead of writing
+// per-process files and reducing post-mortem, every process streams its
+// aggregation-database deltas through a logarithmic reduction tree at
+// periodic synchronization points (epochs), and the root maintains a
+// running global aggregation database that can be queried *while the
+// application runs* — the basis for the in-situ analyses (dynamic load
+// balancing, auto-tuning) the paper mentions in Section II-C.
+//
+// The network reuses the aggregation core end to end: local updates are
+// ordinary core.DB updates, epoch reduction is a tree fold over the
+// registry-independent wire format, and the root's view is a core.DB
+// ready for CalQL queries.
+package rnet
+
+import (
+	"fmt"
+
+	"caligo/internal/attr"
+	"caligo/internal/core"
+	"caligo/internal/mpi"
+	"caligo/internal/snapshot"
+)
+
+// Node is one process's endpoint in the reduction network. All
+// application ranks construct a Node over their communicator with equal
+// schemes; Push feeds local records and Sync runs one epoch reduction.
+// A Node is confined to its rank's goroutine.
+type Node struct {
+	comm   *mpi.Comm
+	scheme *core.Scheme
+	fanin  int
+
+	// delta accumulates records since the last epoch.
+	delta *core.DB
+	// global is the running cumulative database; maintained on the root
+	// only (nil elsewhere).
+	global *core.DB
+	reg    *attr.Registry
+
+	epochs uint64
+	pushed uint64
+}
+
+// Option configures a Node.
+type Option func(*Node)
+
+// WithFanin sets the reduction tree arity (default 2, the paper's
+// logarithmic tree).
+func WithFanin(fanin int) Option {
+	return func(n *Node) { n.fanin = fanin }
+}
+
+// New creates a network endpoint for this rank. reg resolves the records
+// passed to Push (typically the rank's measurement registry).
+func New(comm *mpi.Comm, scheme *core.Scheme, reg *attr.Registry, opts ...Option) (*Node, error) {
+	if err := scheme.Validate(); err != nil {
+		return nil, err
+	}
+	delta, err := core.NewDB(scheme, reg)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{comm: comm, scheme: scheme, fanin: 2, delta: delta, reg: reg}
+	for _, o := range opts {
+		o(n)
+	}
+	if n.fanin < 2 {
+		return nil, fmt.Errorf("rnet: fan-in must be >= 2, got %d", n.fanin)
+	}
+	if comm.Rank() == 0 {
+		// the root's cumulative view lives in its own registry so wire
+		// decoding stays registry-independent
+		rootReg := attr.NewRegistry()
+		global, err := core.NewDB(scheme, rootReg)
+		if err != nil {
+			return nil, err
+		}
+		n.global = global
+	}
+	return n, nil
+}
+
+// Push feeds one record into the local delta database (a streaming
+// reduction; nothing is communicated until Sync).
+func (n *Node) Push(rec snapshot.FlatRecord) {
+	n.delta.Update(rec)
+	n.pushed++
+}
+
+// Pushed returns the number of records pushed locally.
+func (n *Node) Pushed() uint64 { return n.pushed }
+
+// Epochs returns the number of completed Sync epochs.
+func (n *Node) Epochs() uint64 { return n.epochs }
+
+// Sync runs one epoch: all ranks' current deltas are combined in a
+// logarithmic tree reduction and merged into the root's cumulative
+// database; local deltas reset. Sync is collective — every rank must call
+// it the same number of times. On the root it returns the cumulative
+// database (valid until the next Sync mutates it); other ranks get nil.
+func (n *Node) Sync() (*core.DB, error) {
+	payload := n.delta.EncodeState()
+	n.delta.Clear()
+
+	combine := func(a, b []byte) ([]byte, error) {
+		reg := attr.NewRegistry()
+		db, err := core.NewDB(n.scheme, reg)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.MergeEncodedState(a); err != nil {
+			return nil, err
+		}
+		if err := db.MergeEncodedState(b); err != nil {
+			return nil, err
+		}
+		return db.EncodeState(), nil
+	}
+	merged, err := n.comm.ReduceFanin(0, payload, combine, n.fanin)
+	if err != nil {
+		return nil, err
+	}
+	n.epochs++
+	if n.comm.Rank() != 0 {
+		return nil, nil
+	}
+	if err := n.global.MergeEncodedState(merged); err != nil {
+		return nil, err
+	}
+	return n.global, nil
+}
+
+// Global returns the root's cumulative database (nil on other ranks).
+// It reflects all records included in completed epochs.
+func (n *Node) Global() *core.DB { return n.global }
+
+// PendingRecords reports the number of unique aggregation records waiting
+// in the local delta (the buffered state the next Sync will ship).
+func (n *Node) PendingRecords() int { return n.delta.Len() }

@@ -1,0 +1,284 @@
+package rnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"caligo/internal/attr"
+	"caligo/internal/core"
+	"caligo/internal/mpi"
+	"caligo/internal/snapshot"
+)
+
+// testScheme is the shared aggregation scheme of all network tests.
+func testScheme() *core.Scheme {
+	return core.MustScheme([]string{"region", "mpi.rank"},
+		[]core.OpSpec{{Kind: core.OpCount}, {Kind: core.OpSum, Target: "work"}})
+}
+
+// mkRec builds one record in a rank-local registry.
+type recBuilder struct {
+	reg    *attr.Registry
+	region attr.Attribute
+	rank   attr.Attribute
+	work   attr.Attribute
+}
+
+func newRecBuilder() *recBuilder {
+	reg := attr.NewRegistry()
+	return &recBuilder{
+		reg:    reg,
+		region: reg.MustCreate("region", attr.String, attr.Nested),
+		rank:   reg.MustCreate("mpi.rank", attr.Int, 0),
+		work:   reg.MustCreate("work", attr.Int, attr.AsValue|attr.Aggregatable),
+	}
+}
+
+func (b *recBuilder) rec(region string, rank, work int64) snapshot.FlatRecord {
+	return snapshot.FlatRecord{
+		{Attr: b.region, Value: attr.StringV(region)},
+		{Attr: b.rank, Value: attr.IntV(rank)},
+		{Attr: b.work, Value: attr.IntV(work)},
+	}
+}
+
+func TestStreamingReductionMatchesOffline(t *testing.T) {
+	const ranks, steps, epochEvery = 8, 30, 10
+	scheme := testScheme()
+
+	// reference: aggregate everything in one DB
+	refB := newRecBuilder()
+	ref, _ := core.NewDB(scheme, refB.reg)
+	for r := 0; r < ranks; r++ {
+		rng := rand.New(rand.NewSource(int64(r)))
+		for s := 0; s < steps; s++ {
+			ref.Update(refB.rec([]string{"a", "b", "c"}[rng.Intn(3)], int64(r), int64(rng.Intn(50))))
+		}
+	}
+	refRows, _ := ref.FlushRecords()
+
+	// network: same records pushed with epoch syncs
+	var rootRows []snapshot.FlatRecord
+	world, _ := mpi.NewWorld(ranks)
+	err := world.Run(func(c *mpi.Comm) error {
+		b := newRecBuilder()
+		node, err := New(c, scheme, b.reg)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(int64(c.Rank())))
+		for s := 0; s < steps; s++ {
+			node.Push(b.rec([]string{"a", "b", "c"}[rng.Intn(3)], int64(c.Rank()), int64(rng.Intn(50))))
+			if (s+1)%epochEvery == 0 {
+				if _, err := node.Sync(); err != nil {
+					return err
+				}
+			}
+		}
+		global, err := node.Sync() // final epoch
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			rootRows, err = global.FlushRecords()
+			return err
+		}
+		if global != nil {
+			return fmt.Errorf("non-root got global view")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rootRows) != len(refRows) {
+		t.Fatalf("rows = %d, want %d", len(rootRows), len(refRows))
+	}
+	for i := range refRows {
+		if rootRows[i].String() != refRows[i].String() {
+			t.Errorf("row %d:\n network %s\n offline %s", i, rootRows[i], refRows[i])
+		}
+	}
+}
+
+func TestInSituQueryBetweenEpochs(t *testing.T) {
+	// the root can inspect the running totals between epochs — the
+	// in-situ analysis the paper's Section II-C describes
+	const ranks = 4
+	scheme := testScheme()
+	world, _ := mpi.NewWorld(ranks)
+	var epochTotals []int64
+	err := world.Run(func(c *mpi.Comm) error {
+		b := newRecBuilder()
+		node, err := New(c, scheme, b.reg)
+		if err != nil {
+			return err
+		}
+		for epoch := 0; epoch < 3; epoch++ {
+			node.Push(b.rec("step", int64(c.Rank()), 10))
+			global, err := node.Sync()
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				rows, err := global.FlushRecords()
+				if err != nil {
+					return err
+				}
+				var total int64
+				for _, r := range rows {
+					if v, ok := r.GetByName("sum#work"); ok {
+						total += v.AsInt()
+					}
+				}
+				epochTotals = append(epochTotals, total)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// totals grow by ranks*10 per epoch
+	want := []int64{40, 80, 120}
+	for i, w := range want {
+		if epochTotals[i] != w {
+			t.Errorf("epoch %d total = %d, want %d", i, epochTotals[i], w)
+		}
+	}
+}
+
+func TestDeltasResetPerEpoch(t *testing.T) {
+	world, _ := mpi.NewWorld(2)
+	scheme := testScheme()
+	err := world.Run(func(c *mpi.Comm) error {
+		b := newRecBuilder()
+		node, err := New(c, scheme, b.reg)
+		if err != nil {
+			return err
+		}
+		node.Push(b.rec("x", int64(c.Rank()), 1))
+		if node.PendingRecords() != 1 {
+			return fmt.Errorf("pending = %d", node.PendingRecords())
+		}
+		if _, err := node.Sync(); err != nil {
+			return err
+		}
+		if node.PendingRecords() != 0 {
+			return fmt.Errorf("delta not reset after Sync")
+		}
+		if node.Epochs() != 1 || node.Pushed() != 1 {
+			return fmt.Errorf("counters wrong: %d epochs %d pushed", node.Epochs(), node.Pushed())
+		}
+		// an empty epoch is fine
+		if _, err := node.Sync(); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaninVariants(t *testing.T) {
+	for _, fanin := range []int{2, 4, 8} {
+		world, _ := mpi.NewWorld(9)
+		scheme := testScheme()
+		var total int64
+		err := world.Run(func(c *mpi.Comm) error {
+			b := newRecBuilder()
+			node, err := New(c, scheme, b.reg, WithFanin(fanin))
+			if err != nil {
+				return err
+			}
+			node.Push(b.rec("x", int64(c.Rank()), int64(c.Rank()+1)))
+			global, err := node.Sync()
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				rows, _ := global.FlushRecords()
+				for _, r := range rows {
+					if v, ok := r.GetByName("sum#work"); ok {
+						total += v.AsInt()
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("fanin %d: %v", fanin, err)
+		}
+		if total != 45 { // 1+..+9
+			t.Errorf("fanin %d: total = %d, want 45", fanin, total)
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	world, _ := mpi.NewWorld(1)
+	err := world.Run(func(c *mpi.Comm) error {
+		b := newRecBuilder()
+		if _, err := New(c, testScheme(), b.reg, WithFanin(1)); err == nil {
+			return fmt.Errorf("fanin 1 accepted")
+		}
+		bad := &core.Scheme{} // no ops
+		if _, err := New(c, bad, b.reg); err == nil {
+			return fmt.Errorf("invalid scheme accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentEpochsUnderLoad(t *testing.T) {
+	// many ranks, uneven push counts, multiple epochs — totals must match
+	const ranks = 16
+	scheme := testScheme()
+	var wantTotal int64
+	var mu sync.Mutex
+	world, _ := mpi.NewWorld(ranks)
+	var got int64
+	err := world.Run(func(c *mpi.Comm) error {
+		b := newRecBuilder()
+		node, err := New(c, scheme, b.reg)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(int64(c.Rank() * 31)))
+		for epoch := 0; epoch < 4; epoch++ {
+			n := rng.Intn(20)
+			for i := 0; i < n; i++ {
+				w := int64(rng.Intn(100))
+				node.Push(b.rec("r", int64(c.Rank()), w))
+				mu.Lock()
+				wantTotal += w
+				mu.Unlock()
+			}
+			global, err := node.Sync()
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 && epoch == 3 {
+				rows, _ := global.FlushRecords()
+				for _, r := range rows {
+					if v, ok := r.GetByName("sum#work"); ok {
+						got += v.AsInt()
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantTotal {
+		t.Errorf("network total = %d, want %d", got, wantTotal)
+	}
+}

@@ -1,0 +1,175 @@
+package snapshot
+
+import (
+	"testing"
+
+	"caligo/internal/attr"
+	"caligo/internal/contexttree"
+)
+
+type fixture struct {
+	reg  *attr.Registry
+	tree *contexttree.Tree
+	fn   attr.Attribute
+	iter attr.Attribute
+	dur  attr.Attribute
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	reg := attr.NewRegistry()
+	return &fixture{
+		reg:  reg,
+		tree: contexttree.New(),
+		fn:   reg.MustCreate("function", attr.String, attr.Nested),
+		iter: reg.MustCreate("iteration", attr.Int, 0),
+		dur:  reg.MustCreate("time.duration", attr.Float, attr.AsValue|attr.Aggregatable),
+	}
+}
+
+func TestBuilderAndUnpack(t *testing.T) {
+	fx := newFixture(t)
+	n := fx.tree.GetPath(contexttree.InvalidNode, []attr.Entry{
+		{Attr: fx.fn, Value: attr.StringV("main")},
+		{Attr: fx.fn, Value: attr.StringV("foo")},
+	})
+	var b Builder
+	b.AddNode(n)
+	b.AddImmediate(fx.dur, attr.FloatV(2.5))
+	rec := b.Record()
+
+	if rec.Empty() {
+		t.Fatal("record should not be empty")
+	}
+	flat, err := rec.Unpack(fx.tree, fx.reg)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if len(flat) != 3 {
+		t.Fatalf("flat len = %d, want 3: %v", len(flat), flat)
+	}
+	if flat[0].Value.String() != "main" || flat[1].Value.String() != "foo" {
+		t.Errorf("path order wrong: %v", flat)
+	}
+	if flat[2].Attr.ID() != fx.dur.ID() || flat[2].Value.AsFloat() != 2.5 {
+		t.Errorf("immediate entry wrong: %v", flat[2])
+	}
+}
+
+func TestBuilderDeduplicatesNodes(t *testing.T) {
+	fx := newFixture(t)
+	n := fx.tree.GetChild(contexttree.InvalidNode, fx.fn, attr.StringV("f"))
+	var b Builder
+	b.AddNode(n)
+	b.AddNode(n)
+	b.AddNode(contexttree.InvalidNode)
+	if got := len(b.Record().Nodes); got != 1 {
+		t.Errorf("nodes = %d, want 1", got)
+	}
+	b.AddImmediate(attr.Attribute{}, attr.IntV(1)) // invalid attr ignored
+	if got := len(b.Record().Imm); got != 0 {
+		t.Errorf("invalid immediate not ignored: %d", got)
+	}
+}
+
+func TestBuilderReset(t *testing.T) {
+	fx := newFixture(t)
+	var b Builder
+	b.AddNode(fx.tree.GetChild(contexttree.InvalidNode, fx.fn, attr.StringV("f")))
+	b.AddImmediate(fx.dur, attr.FloatV(1))
+	b.Reset()
+	if !b.Record().Empty() {
+		t.Error("Reset should clear record")
+	}
+}
+
+func TestRecordGet(t *testing.T) {
+	fx := newFixture(t)
+	n := fx.tree.GetPath(contexttree.InvalidNode, []attr.Entry{
+		{Attr: fx.fn, Value: attr.StringV("main")},
+		{Attr: fx.fn, Value: attr.StringV("foo")},
+		{Attr: fx.iter, Value: attr.IntV(4)},
+	})
+	var b Builder
+	b.AddNode(n)
+	b.AddImmediate(fx.dur, attr.FloatV(9))
+	rec := b.Record()
+
+	if v, ok := rec.Get(fx.tree, fx.fn); !ok || v.String() != "foo" {
+		t.Errorf("Get(fn) = %v,%v; want foo", v, ok)
+	}
+	if v, ok := rec.Get(fx.tree, fx.iter); !ok || v.AsInt() != 4 {
+		t.Errorf("Get(iter) = %v,%v", v, ok)
+	}
+	if v, ok := rec.Get(fx.tree, fx.dur); !ok || v.AsFloat() != 9 {
+		t.Errorf("Get(dur) = %v,%v", v, ok)
+	}
+	other := fx.reg.MustCreate("other", attr.Int, 0)
+	if _, ok := rec.Get(fx.tree, other); ok {
+		t.Error("Get of absent attribute should miss")
+	}
+}
+
+func TestRecordClone(t *testing.T) {
+	fx := newFixture(t)
+	var b Builder
+	b.AddNode(fx.tree.GetChild(contexttree.InvalidNode, fx.fn, attr.StringV("f")))
+	b.AddImmediate(fx.dur, attr.FloatV(1))
+	rec := b.Record()
+	cl := rec.Clone()
+	cl.Imm[0].Value = attr.FloatV(99)
+	if rec.Imm[0].Value.AsFloat() != 1 {
+		t.Error("Clone must deep-copy immediate entries")
+	}
+	empty := Record{}
+	ecl := empty.Clone()
+	if !ecl.Empty() {
+		t.Error("clone of empty should be empty")
+	}
+}
+
+func TestUnpackError(t *testing.T) {
+	fx := newFixture(t)
+	rec := Record{Nodes: []contexttree.NodeID{42}}
+	if _, err := rec.Unpack(fx.tree, fx.reg); err == nil {
+		t.Error("Unpack with bad node id should error")
+	}
+}
+
+func TestFlatRecordAccessors(t *testing.T) {
+	fx := newFixture(t)
+	f := FlatRecord{
+		{Attr: fx.fn, Value: attr.StringV("main")},
+		{Attr: fx.fn, Value: attr.StringV("foo")},
+		{Attr: fx.iter, Value: attr.IntV(7)},
+	}
+	if v, ok := f.Get(fx.fn.ID()); !ok || v.String() != "foo" {
+		t.Errorf("Get = %v,%v; want innermost foo", v, ok)
+	}
+	if v, ok := f.GetByName("iteration"); !ok || v.AsInt() != 7 {
+		t.Errorf("GetByName = %v,%v", v, ok)
+	}
+	if _, ok := f.GetByName("nope"); ok {
+		t.Error("GetByName should miss")
+	}
+	if vals := f.ValuesOf(fx.fn.ID()); len(vals) != 2 || vals[0].String() != "main" {
+		t.Errorf("ValuesOf = %v", vals)
+	}
+	if p := f.PathOf(fx.fn.ID(), "/"); p != "main/foo" {
+		t.Errorf("PathOf = %q, want main/foo", p)
+	}
+	if !f.Has(fx.iter.ID()) || f.Has(fx.dur.ID()) {
+		t.Error("Has misbehaves")
+	}
+	s := f.String()
+	if s != "{function=foo,function=main,iteration=7}" {
+		t.Errorf("String = %q", s)
+	}
+	var empty FlatRecord
+	if _, ok := empty.Get(fx.fn.ID()); ok {
+		t.Error("empty Get should miss")
+	}
+	if empty.PathOf(fx.fn.ID(), "/") != "" {
+		t.Error("empty PathOf should be empty string")
+	}
+}
