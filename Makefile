@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build vet test test-race bench-smoke fuzz-seed check clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark — catches bit-rot in the bench
+# harness without paying for real measurement runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Run the fuzz targets over their seed corpora only (no fuzzing time);
+# regressions on checked-in seeds fail fast.
+fuzz-seed:
+	$(GO) test -run Fuzz ./internal/calql ./internal/calformat
+
+check: build vet test fuzz-seed
+
+clean:
+	$(GO) clean ./...
+	rm -rf bin/

@@ -32,6 +32,7 @@ import (
 	"caligo/internal/pquery"
 	"caligo/internal/rnet"
 	"caligo/internal/snapshot"
+	"caligo/internal/telemetry"
 )
 
 // ---------------------------------------------------------------------------
@@ -610,3 +611,23 @@ func benchRnet(b *testing.B, ranks, epochs, recsPerEpoch int) {
 
 func BenchmarkRnetStreaming8Ranks(b *testing.B)  { benchRnet(b, 8, 5, 200) }
 func BenchmarkRnetStreaming32Ranks(b *testing.B) { benchRnet(b, 32, 5, 200) }
+
+// ---------------------------------------------------------------------------
+// Self-instrumentation overhead: the same Table I snapshot stream with
+// telemetry collection off (the default — every metric mutator is a
+// single atomic load) and on. Compare ns/op between the two:
+//
+//	go test -bench=TelemetryOverhead -benchmem
+//
+// The Disabled variant is the cost every uninstrumented user pays; it
+// should be indistinguishable from the pre-telemetry baseline (<2%).
+
+func benchTelemetryState(b *testing.B, on bool) {
+	b.Helper()
+	prev := telemetry.SetEnabled(on)
+	b.Cleanup(func() { telemetry.SetEnabled(prev) })
+	benchSnapshotStream(b, keySchemeB)
+}
+
+func BenchmarkTelemetryOverheadDisabled(b *testing.B) { benchTelemetryState(b, false) }
+func BenchmarkTelemetryOverheadEnabled(b *testing.B)  { benchTelemetryState(b, true) }

@@ -32,11 +32,23 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"caligo/internal/attr"
 	"caligo/internal/blackboard"
 	"caligo/internal/contexttree"
 	"caligo/internal/snapshot"
+	"caligo/internal/telemetry"
+)
+
+// Self-instrumentation (see docs/OBSERVABILITY.md). All metrics are
+// no-ops (one atomic load) unless telemetry is enabled — enabling happens
+// via the "metrics" service, cali-* -stats flags, or telemetry.Enable().
+var (
+	telSnapshotNS   = telemetry.NewHistogram("caligo.snapshot.ns")
+	telFlushCount   = telemetry.NewCounter("caligo.flush.count")
+	telFlushRecords = telemetry.NewCounter("caligo.flush.records")
+	telFlushNS      = telemetry.NewHistogram("caligo.flush.ns")
 )
 
 // Config is a runtime configuration profile: string key/value settings
@@ -72,6 +84,7 @@ var serviceFactories = map[string]serviceFactory{
 	"trace":     newTraceService,
 	"recorder":  newRecorderService,
 	"sampler":   newSamplerService,
+	"metrics":   newMetricsService,
 }
 
 // Channel is one measurement configuration instance: it owns the attribute
@@ -82,6 +95,7 @@ type Channel struct {
 	reg  *attr.Registry
 	tree *contexttree.Tree
 	cfg  Config
+	name string
 
 	services []service
 
@@ -118,6 +132,10 @@ func NewChannel(cfg Config) (*Channel, error) {
 		reg:  attr.NewRegistry(),
 		tree: contexttree.New(),
 		cfg:  cfg,
+		name: cfg["channel.name"],
+	}
+	if ch.name == "" {
+		ch.name = fmt.Sprintf("channel-%d", channelSeq.Add(1))
 	}
 	names := splitNonEmpty(cfg["services"])
 	// deterministic startup order: sort, but keep "event" and "timer"
@@ -140,8 +158,15 @@ func NewChannel(cfg Config) (*Channel, error) {
 	return ch, nil
 }
 
+// channelSeq numbers channels that were not given an explicit
+// "channel.name", so the dogfooded metrics service can always label its
+// records with a channel identity.
+var channelSeq atomic.Uint64
+
 // serviceOrder gives measurement services (timer) precedence over
 // processing services (aggregate, trace, recorder) in callback order.
+// The metrics service flushes last so its records follow the channel's
+// regular output.
 func serviceOrder(name string) int {
 	switch name {
 	case "timer":
@@ -150,6 +175,8 @@ func serviceOrder(name string) int {
 		return 1
 	case "aggregate", "trace":
 		return 2
+	case "metrics":
+		return 4
 	default:
 		return 3
 	}
@@ -178,6 +205,10 @@ func trimSpace(s string) string {
 	}
 	return s
 }
+
+// Name returns the channel's name: the "channel.name" config value, or a
+// generated "channel-N" identifier.
+func (ch *Channel) Name() string { return ch.name }
 
 // Registry exposes the channel's attribute registry.
 func (ch *Channel) Registry() *attr.Registry { return ch.reg }
@@ -274,6 +305,15 @@ func (ch *Channel) Flush() ([]snapshot.FlatRecord, error) {
 
 // FlushEmit streams flush output through emit.
 func (ch *Channel) FlushEmit(emit func(snapshot.FlatRecord) error) error {
+	var flushStart time.Time
+	if telemetry.Enabled() {
+		flushStart = time.Now()
+		inner := emit
+		emit = func(r snapshot.FlatRecord) error {
+			telFlushRecords.Inc()
+			return inner(r)
+		}
+	}
 	for _, svc := range ch.services {
 		if f, ok := svc.(finisher); ok {
 			if err := f.finish(ch); err != nil {
@@ -287,6 +327,10 @@ func (ch *Channel) FlushEmit(emit func(snapshot.FlatRecord) error) error {
 				return err
 			}
 		}
+	}
+	telFlushCount.Inc()
+	if !flushStart.IsZero() {
+		telFlushNS.Observe(time.Since(flushStart).Nanoseconds())
 	}
 	return nil
 }

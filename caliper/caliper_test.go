@@ -522,7 +522,7 @@ func TestSkipEventsSuppressesTriggers(t *testing.T) {
 
 func TestSortedServiceNames(t *testing.T) {
 	names := SortedServiceNames()
-	if len(names) != 6 {
+	if len(names) != 7 {
 		t.Errorf("services = %v", names)
 	}
 	for i := 1; i < len(names); i++ {

@@ -1,0 +1,75 @@
+package caliper
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"caligo/internal/telemetry"
+)
+
+// publishOnce guards the process-wide expvar registration (expvar.Publish
+// panics on duplicate names).
+var publishOnce sync.Once
+
+// publishTelemetry exposes the telemetry registry under the
+// "caligo.telemetry" expvar, making it visible on any /debug/vars
+// endpoint the host process serves — not just the one ServeDebug mounts.
+func publishTelemetry() {
+	publishOnce.Do(func() {
+		expvar.Publish("caligo.telemetry", expvar.Func(func() any {
+			return telemetry.ExportMap()
+		}))
+	})
+}
+
+// DebugServer is a running runtime-introspection HTTP endpoint started by
+// ServeDebug.
+type DebugServer struct {
+	ln net.Listener
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *DebugServer) Close() error { return s.ln.Close() }
+
+// ServeDebug starts an HTTP debug endpoint on addr serving:
+//
+//	/debug/telemetry — plain-text report of the internal telemetry registry
+//	/debug/vars      — expvar JSON, including the "caligo.telemetry" var
+//	/debug/pprof/    — the standard net/http/pprof profiling handlers
+//
+// It does not turn telemetry collection on; enable it with the "metrics"
+// service, a -stats flag, or telemetry.Enable() to see non-zero values.
+// The endpoint uses its own mux, so it never conflicts with handlers the
+// host application registers on http.DefaultServeMux.
+func ServeDebug(addr string) (*DebugServer, error) {
+	publishTelemetry()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		telemetry.WriteReport(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("caliper: ServeDebug: %w", err)
+	}
+	srv := &DebugServer{ln: ln}
+	go func() {
+		// ErrServerClosed/closed-listener errors are the normal shutdown
+		// path; there is no caller to report others to.
+		_ = http.Serve(ln, mux)
+	}()
+	return srv, nil
+}

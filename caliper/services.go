@@ -14,6 +14,7 @@ import (
 	"caligo/internal/core"
 	"caligo/internal/query"
 	"caligo/internal/snapshot"
+	"caligo/internal/telemetry"
 )
 
 // ---------------------------------------------------------------------------
@@ -407,6 +408,119 @@ func (svc *samplerService) finish(_ *Channel) error {
 	svc.once.Do(func() { close(svc.stop) })
 	<-svc.done
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// metrics service: dogfooded self-instrumentation output. The library's
+// own telemetry is emitted as ordinary snapshot records at flush time, so
+// it flows through the same recorder/.cali/CalQL pipeline as application
+// data ("AGGREGATE sum(caligo.snapshots) GROUP BY caligo.channel" works).
+// Enabling the service turns the global telemetry collection on.
+
+// Attribute labels emitted by the metrics service. Per-thread records
+// carry MetricsChannelAttr, MetricsThreadAttr, MetricsSnapshotsAttr and
+// MetricsUpdatesAttr; one per-process record carries MetricsChannelAttr
+// plus every metric of the global telemetry registry under its own name
+// (histograms expand to <name>.count/.sum/.avg/.p50/.p95/.max).
+const (
+	MetricsChannelAttr   = "caligo.channel"
+	MetricsThreadAttr    = "caligo.thread"
+	MetricsSnapshotsAttr = "caligo.snapshots"
+	MetricsUpdatesAttr   = "caligo.updates"
+)
+
+const (
+	metricsLabelProps = attr.AsValue | attr.SkipEvents
+	metricsValueProps = attr.AsValue | attr.Aggregatable | attr.SkipEvents
+)
+
+type metricsService struct {
+	chanAttr    attr.Attribute
+	threadAttr  attr.Attribute
+	snapsAttr   attr.Attribute
+	updatesAttr attr.Attribute
+}
+
+func newMetricsService(ch *Channel, _ Config) (service, error) {
+	telemetry.Enable()
+	svc := &metricsService{}
+	var err error
+	if svc.chanAttr, err = ch.reg.Create(MetricsChannelAttr, attr.String, metricsLabelProps); err != nil {
+		return nil, err
+	}
+	if svc.threadAttr, err = ch.reg.Create(MetricsThreadAttr, attr.Int, metricsLabelProps); err != nil {
+		return nil, err
+	}
+	if svc.snapsAttr, err = ch.reg.Create(MetricsSnapshotsAttr, attr.Uint, metricsValueProps); err != nil {
+		return nil, err
+	}
+	if svc.updatesAttr, err = ch.reg.Create(MetricsUpdatesAttr, attr.Uint, metricsValueProps); err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+func (*metricsService) name() string { return "metrics" }
+
+// flush emits one record per thread (snapshot and blackboard-update
+// counts, labeled by channel and thread index) followed by one record
+// holding the process-global telemetry registry. It runs after the other
+// flushers (serviceOrder), so flush-phase metrics are already up to date.
+func (svc *metricsService) flush(ch *Channel, emit func(snapshot.FlatRecord) error) error {
+	for _, t := range ch.threadsSnapshot() {
+		rec := snapshot.FlatRecord{
+			{Attr: svc.chanAttr, Value: attr.StringV(ch.Name())},
+			{Attr: svc.threadAttr, Value: attr.IntV(int64(t.index))},
+			{Attr: svc.snapsAttr, Value: attr.UintV(t.Snapshots())},
+			{Attr: svc.updatesAttr, Value: attr.UintV(t.Updates())},
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+	rec := snapshot.FlatRecord{{Attr: svc.chanAttr, Value: attr.StringV(ch.Name())}}
+	addEntry := func(name string, typ attr.Type, v attr.Variant) error {
+		a, err := ch.reg.Create(name, typ, metricsValueProps)
+		if err != nil {
+			return err
+		}
+		rec = append(rec, attr.Entry{Attr: a, Value: v})
+		return nil
+	}
+	for _, m := range telemetry.Export() {
+		var err error
+		switch m.Kind {
+		case telemetry.KindCounter:
+			err = addEntry(m.Name, attr.Uint, attr.UintV(m.Counter))
+		case telemetry.KindGauge:
+			err = addEntry(m.Name, attr.Int, attr.IntV(m.Gauge))
+		case telemetry.KindHistogram:
+			if m.Hist.Count == 0 {
+				continue
+			}
+			s := m.Hist
+			for _, e := range []struct {
+				suffix string
+				typ    attr.Type
+				v      attr.Variant
+			}{
+				{".count", attr.Uint, attr.UintV(s.Count)},
+				{".sum", attr.Int, attr.IntV(s.Sum)},
+				{".avg", attr.Float, attr.FloatV(s.Mean())},
+				{".p50", attr.Float, attr.FloatV(s.Quantile(0.5))},
+				{".p95", attr.Float, attr.FloatV(s.Quantile(0.95))},
+				{".max", attr.Float, attr.FloatV(s.Max())},
+			} {
+				if err = addEntry(m.Name+e.suffix, e.typ, e.v); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return emit(rec)
 }
 
 // ---------------------------------------------------------------------------

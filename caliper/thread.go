@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"caligo/internal/attr"
 	"caligo/internal/blackboard"
 	"caligo/internal/snapshot"
+	"caligo/internal/telemetry"
 )
 
 // Thread is one thread of execution's measurement state: its blackboard
@@ -199,6 +201,10 @@ func (t *Thread) Snapshot() {
 // sampling), so owner-triggered and sampler-triggered snapshots serialize
 // against blackboard updates and per-thread service state.
 func (t *Thread) takeSnapshot() {
+	var snapStart time.Time
+	if telemetry.Enabled() {
+		snapStart = time.Now()
+	}
 	t.lock()
 	defer t.unlock()
 	var sb snapshot.Builder
@@ -211,6 +217,9 @@ func (t *Thread) takeSnapshot() {
 	t.ch.snapshots.Add(1)
 	for _, fn := range t.ch.procSnap {
 		fn(t, rec)
+	}
+	if !snapStart.IsZero() {
+		telSnapshotNS.Observe(time.Since(snapStart).Nanoseconds())
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"caligo/calql"
+	"caligo/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func run(args []string) error {
 	queryText := fs.String("q", "", "query in the aggregation description language (required)")
 	parallel := fs.Int("parallel", 0, "run the MPI-emulated parallel query with this many ranks (0 = serial)")
 	showTiming := fs.Bool("timing", false, "print phase timing of the parallel query")
+	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run (to stderr)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: cali-query [flags] file.cali [file2.cali ...]\n\n")
 		fs.PrintDefaults()
@@ -53,6 +55,10 @@ func run(args []string) error {
 	if len(files) == 0 {
 		fs.Usage()
 		return fmt.Errorf("no input files")
+	}
+	if *showStats {
+		telemetry.Enable()
+		defer telemetry.WriteReport(os.Stderr)
 	}
 
 	if *parallel > 0 {

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"caligo/internal/apps/paradis"
+	"caligo/internal/telemetry"
 )
 
 func datasetDir(t *testing.T, ranks int) []string {
@@ -33,6 +36,43 @@ func TestParallelQuery(t *testing.T) {
 		"-q", "AGGREGATE sum(sum#time.duration) GROUP BY kernel, mpi.function"}, files...)
 	if err := run(args); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStatsFlag runs a query with -stats on a real dataset and checks
+// that the telemetry report lands on stderr with non-zero read counters.
+func TestStatsFlag(t *testing.T) {
+	files := datasetDir(t, 2)
+	prev := telemetry.SetEnabled(false)
+	telemetry.Reset()
+	t.Cleanup(func() { telemetry.SetEnabled(prev) })
+
+	rd, wr, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStderr := os.Stderr
+	os.Stderr = wr
+	runErr := run(append([]string{"-stats", "-q", "AGGREGATE sum(aggregate.count) GROUP BY kernel"}, files...))
+	os.Stderr = oldStderr
+	wr.Close()
+	out, readErr := io.ReadAll(rd)
+	rd.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	report := string(out)
+	if !strings.Contains(report, "internal telemetry") ||
+		!strings.Contains(report, "caligo.calformat.records.read") {
+		t.Errorf("unexpected -stats report:\n%s", report)
+	}
+	for _, m := range telemetry.Export() {
+		if m.Name == "caligo.calformat.records.read" && m.Counter == 0 {
+			t.Error("caligo.calformat.records.read = 0 after reading a dataset")
+		}
 	}
 }
 

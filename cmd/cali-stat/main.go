@@ -17,6 +17,7 @@ import (
 	"caligo/internal/attr"
 	"caligo/internal/calformat"
 	"caligo/internal/contexttree"
+	"caligo/internal/telemetry"
 )
 
 func main() {
@@ -44,12 +45,17 @@ type attrStats struct {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cali-stat", flag.ContinueOnError)
 	combined := fs.Bool("combined", false, "also print totals over all files")
+	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	files := fs.Args()
 	if len(files) == 0 {
 		return fmt.Errorf("no input files")
+	}
+	if *showStats {
+		telemetry.Enable()
+		defer telemetry.WriteReport(w)
 	}
 
 	var all []*fileStats

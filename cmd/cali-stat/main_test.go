@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"caligo/internal/apps/paradis"
+	"caligo/internal/telemetry"
 )
 
 func TestStatDataset(t *testing.T) {
@@ -29,6 +30,28 @@ func TestStatDataset(t *testing.T) {
 	}
 	if !strings.Contains(out, "kernel") || !strings.Contains(out, "aggregate.count") {
 		t.Errorf("attribute table missing:\n%s", out)
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	dir := t.TempDir()
+	cfg := paradis.Config{Kernels: 3, MPIFunctions: 2, Iterations: 2, ExtraRecords: 1}
+	paths, err := paradis.GenerateDir(dir, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := telemetry.SetEnabled(false)
+	telemetry.Reset()
+	t.Cleanup(func() { telemetry.SetEnabled(prev) })
+
+	var sb strings.Builder
+	if err := run(append([]string{"-stats"}, paths...), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "internal telemetry") ||
+		!strings.Contains(out, "caligo.calformat.records.read") {
+		t.Errorf("-stats report missing:\n%s", out)
 	}
 }
 

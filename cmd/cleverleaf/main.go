@@ -19,6 +19,7 @@ import (
 
 	"caligo/caliper"
 	"caligo/internal/apps/cleverleaf"
+	"caligo/internal/telemetry"
 )
 
 func main() {
@@ -42,8 +43,23 @@ func run(args []string) error {
 	sampleHz := fs.Float64("hz", 100, "sampling frequency for -mode sample")
 	virtual := fs.Bool("virtual", false, "discrete-event mode (deterministic virtual time)")
 	threads := fs.Int("threads", 1, "worker threads per rank (adds a thread.id dimension)")
+	metrics := fs.Bool("metrics", false, "add the metrics service: write the library's own telemetry into each profile")
+	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run (to stderr)")
+	debugAddr := fs.String("debug", "", "serve the expvar/pprof/telemetry debug endpoint on this address during the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showStats {
+		telemetry.Enable()
+		defer telemetry.WriteReport(os.Stderr)
+	}
+	if *debugAddr != "" {
+		srv, err := caliper.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/telemetry\n", srv.Addr())
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -72,6 +88,10 @@ func run(args []string) error {
 			cfg["services"] = "event,timer,trace,recorder"
 		default:
 			return fmt.Errorf("unknown mode %q (want event, sample, or trace)", *mode)
+		}
+		if *metrics {
+			cfg["services"] += ",metrics"
+			cfg["channel.name"] = fmt.Sprintf("rank-%d", r)
 		}
 		ch, err := caliper.NewChannel(cfg)
 		if err != nil {

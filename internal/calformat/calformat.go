@@ -24,6 +24,17 @@ import (
 	"caligo/internal/attr"
 	"caligo/internal/contexttree"
 	"caligo/internal/snapshot"
+	"caligo/internal/telemetry"
+)
+
+// Self-instrumentation (see docs/OBSERVABILITY.md). All counters are
+// no-ops (one atomic load) unless telemetry is enabled.
+var (
+	telRecsRead     = telemetry.NewCounter("caligo.calformat.records.read")
+	telBytesRead    = telemetry.NewCounter("caligo.calformat.bytes.read")
+	telDecodeErrors = telemetry.NewCounter("caligo.calformat.decode.errors")
+	telRecsWritten  = telemetry.NewCounter("caligo.calformat.records.written")
+	telBytesWritten = telemetry.NewCounter("caligo.calformat.bytes.written")
 )
 
 // escape protects field- and list-separator characters within values.
@@ -160,8 +171,9 @@ func (w *Writer) ensureAttr(a attr.Attribute) error {
 		return nil
 	}
 	w.wroteAttr[a.ID()] = true
-	_, err := fmt.Fprintf(w.w, "__rec=attr,id=%d,name=%s,type=%s,prop=%s\n",
+	n, err := fmt.Fprintf(w.w, "__rec=attr,id=%d,name=%s,type=%s,prop=%s\n",
 		a.ID(), escape(a.Name()), a.Type(), escape(a.Properties().String()))
+	telBytesWritten.Add(uint64(n))
 	return err
 }
 
@@ -190,8 +202,9 @@ func (w *Writer) ensureNode(n contexttree.NodeID) error {
 	if parent != contexttree.InvalidNode {
 		parentStr = strconv.Itoa(int(parent))
 	}
-	_, err = fmt.Fprintf(w.w, "__rec=node,id=%d,attr=%d,data=%s,parent=%s\n",
+	written, err := fmt.Fprintf(w.w, "__rec=node,id=%d,attr=%d,data=%s,parent=%s\n",
 		n, aid, escape(val.String()), parentStr)
+	telBytesWritten.Add(uint64(written))
 	return err
 }
 
@@ -240,7 +253,9 @@ func (w *Writer) WriteRecord(rec snapshot.Record) error {
 		}
 	}
 	sb.WriteByte('\n')
-	_, err := w.w.WriteString(sb.String())
+	n, err := w.w.WriteString(sb.String())
+	telRecsWritten.Inc()
+	telBytesWritten.Add(uint64(n))
 	return err
 }
 
@@ -256,8 +271,10 @@ func (w *Writer) WriteGlobals(entries []attr.Entry) error {
 		if err := w.ensureAttr(e.Attr); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w.w, "__rec=globals,attr=%d,data=%s\n",
-			e.Attr.ID(), escape(e.Value.String())); err != nil {
+		n, err := fmt.Fprintf(w.w, "__rec=globals,attr=%d,data=%s\n",
+			e.Attr.ID(), escape(e.Value.String()))
+		telBytesWritten.Add(uint64(n))
+		if err != nil {
 			return err
 		}
 	}
@@ -298,6 +315,7 @@ func NewReader(r io.Reader, reg *attr.Registry, tree *contexttree.Tree) *Reader 
 func (r *Reader) Globals() []attr.Entry { return r.globals }
 
 func (r *Reader) errf(format string, args ...any) error {
+	telDecodeErrors.Inc()
 	return fmt.Errorf("calformat: line %d: %s", r.line, fmt.Sprintf(format, args...))
 }
 
@@ -307,6 +325,7 @@ func (r *Reader) Next() (snapshot.FlatRecord, error) {
 	for r.sc.Scan() {
 		r.line++
 		line := strings.TrimRight(r.sc.Text(), "\r")
+		telBytesRead.Add(uint64(len(r.sc.Bytes()) + 1)) // +1: stripped newline
 		if line == "" {
 			continue
 		}
@@ -338,7 +357,11 @@ func (r *Reader) Next() (snapshot.FlatRecord, error) {
 			}
 			r.globals = append(r.globals, e)
 		case "ctx":
-			return r.readCtx(fm, has)
+			rec, err := r.readCtx(fm, has)
+			if err == nil {
+				telRecsRead.Inc()
+			}
+			return rec, err
 		case "":
 			return nil, r.errf("record without __rec field")
 		default:

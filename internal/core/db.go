@@ -7,6 +7,16 @@ import (
 
 	"caligo/internal/attr"
 	"caligo/internal/snapshot"
+	"caligo/internal/telemetry"
+)
+
+// Self-instrumentation (see docs/OBSERVABILITY.md). All counters are
+// no-ops (one atomic load) unless telemetry is enabled.
+var (
+	telUpdates  = telemetry.NewCounter("caligo.core.updates")
+	telMerges   = telemetry.NewCounter("caligo.core.merges")
+	telBuckets  = telemetry.NewCounter("caligo.core.buckets")
+	telKeyBytes = telemetry.NewCounter("caligo.core.keybytes")
 )
 
 // DB is the in-memory aggregation database of Section IV-B: it keeps one
@@ -147,6 +157,7 @@ func (db *DB) roleOf(a attr.Attribute) *role {
 // (the workflow of Figure 2).
 func (db *DB) Update(rec snapshot.FlatRecord) {
 	db.processed++
+	telUpdates.Inc()
 
 	// reset scratch
 	for i := range db.keyVals {
@@ -229,6 +240,8 @@ func (db *DB) bucketFor() *bucket {
 	if b, ok := db.buckets[string(db.keyBuf)]; ok {
 		return b
 	}
+	telBuckets.Inc()
+	telKeyBytes.Add(uint64(len(db.keyBuf)))
 	b := &bucket{accs: make([]accum, len(db.scheme.Ops))}
 	for pos, vals := range db.keyVals {
 		if len(vals) == 0 {
@@ -263,6 +276,8 @@ func (db *DB) mergeBucket(groups []keyGroup, accs []accum) error {
 	}
 	b, ok := db.buckets[string(db.keyBuf)]
 	if !ok {
+		telBuckets.Inc()
+		telKeyBytes.Add(uint64(len(db.keyBuf)))
 		b = &bucket{
 			keyGroups: make([]keyGroup, len(groups)),
 			accs:      make([]accum, len(db.scheme.Ops)),
@@ -281,6 +296,7 @@ func (db *DB) mergeBucket(groups []keyGroup, accs []accum) error {
 // Merge folds all aggregation records of other into db. Both databases
 // must use equal schemes. other is left unchanged.
 func (db *DB) Merge(other *DB) error {
+	telMerges.Inc()
 	if !db.scheme.Equal(other.scheme) {
 		return fmt.Errorf("core: merge: schemes differ: %q vs %q", db.scheme, other.scheme)
 	}

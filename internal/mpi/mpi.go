@@ -16,6 +16,15 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"caligo/internal/telemetry"
+)
+
+// Self-instrumentation (see docs/OBSERVABILITY.md). All counters are
+// no-ops (one atomic load) unless telemetry is enabled.
+var (
+	telMessages = telemetry.NewCounter("caligo.mpi.messages")
+	telMsgBytes = telemetry.NewCounter("caligo.mpi.bytes")
 )
 
 // AnySource matches messages from any rank in Recv.
@@ -174,6 +183,8 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	if dst == c.rank {
 		return fmt.Errorf("mpi: send: rank %d sending to itself", c.rank)
 	}
+	telMessages.Inc()
+	telMsgBytes.Add(uint64(len(data)))
 	m := c.world.cost
 	c.clock += m.Overhead
 	arrival := c.clock + m.Latency + float64(len(data))*m.PerByte

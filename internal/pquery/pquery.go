@@ -25,6 +25,16 @@ import (
 	"caligo/internal/mpi"
 	"caligo/internal/query"
 	"caligo/internal/snapshot"
+	"caligo/internal/telemetry"
+)
+
+// Self-instrumentation (see docs/OBSERVABILITY.md). All metrics are
+// no-ops (one atomic load) unless telemetry is enabled. Phase histograms
+// record per-rank wall time, one observation per rank per phase.
+var (
+	telRecords  = telemetry.NewCounter("caligo.pquery.records")
+	telLocalNS  = telemetry.NewHistogram("caligo.pquery.local.ns")
+	telReduceNS = telemetry.NewHistogram("caligo.pquery.reduce.ns")
 )
 
 // Timing reports the phase breakdown the paper's Figure 4 plots: the time
@@ -148,6 +158,8 @@ func runRank(c *mpi.Comm, q *calql.Query, provider InputProvider, fanin int) (*R
 		}
 	}
 	localWall := time.Since(localStart)
+	telRecords.Add(processed)
+	telLocalNS.Observe(localWall.Nanoseconds())
 	// charge the local phase to the virtual clock with the deterministic
 	// cost model (see perRecordNs)
 	c.Advance(float64(processed) * perRecordNs)
@@ -225,9 +237,16 @@ func reduceAggregated(c *mpi.Comm, q *calql.Query, eng *query.Engine, fanin int,
 		return out, nil
 	}
 
+	var reduceStart time.Time
+	if telemetry.Enabled() {
+		reduceStart = time.Now()
+	}
 	final, err := c.ReduceFanin(0, payload, combine, fanin)
 	if err != nil {
 		return nil, err
+	}
+	if !reduceStart.IsZero() {
+		telReduceNS.Observe(time.Since(reduceStart).Nanoseconds())
 	}
 	if c.Rank() != 0 {
 		return nil, nil

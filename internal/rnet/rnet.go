@@ -16,11 +16,21 @@ package rnet
 
 import (
 	"fmt"
+	"time"
 
 	"caligo/internal/attr"
 	"caligo/internal/core"
 	"caligo/internal/mpi"
 	"caligo/internal/snapshot"
+	"caligo/internal/telemetry"
+)
+
+// Self-instrumentation (see docs/OBSERVABILITY.md). All metrics are
+// no-ops (one atomic load) unless telemetry is enabled.
+var (
+	telEpochs     = telemetry.NewCounter("caligo.rnet.epochs")
+	telEpochNS    = telemetry.NewHistogram("caligo.rnet.epoch.ns")
+	telDeltaBytes = telemetry.NewCounter("caligo.rnet.delta.bytes")
 )
 
 // Node is one process's endpoint in the reduction network. All
@@ -101,8 +111,13 @@ func (n *Node) Epochs() uint64 { return n.epochs }
 // it the same number of times. On the root it returns the cumulative
 // database (valid until the next Sync mutates it); other ranks get nil.
 func (n *Node) Sync() (*core.DB, error) {
+	var epochStart time.Time
+	if telemetry.Enabled() {
+		epochStart = time.Now()
+	}
 	payload := n.delta.EncodeState()
 	n.delta.Clear()
+	telDeltaBytes.Add(uint64(len(payload)))
 
 	combine := func(a, b []byte) ([]byte, error) {
 		reg := attr.NewRegistry()
@@ -123,11 +138,18 @@ func (n *Node) Sync() (*core.DB, error) {
 		return nil, err
 	}
 	n.epochs++
+	telEpochs.Inc()
 	if n.comm.Rank() != 0 {
+		if !epochStart.IsZero() {
+			telEpochNS.Observe(time.Since(epochStart).Nanoseconds())
+		}
 		return nil, nil
 	}
 	if err := n.global.MergeEncodedState(merged); err != nil {
 		return nil, err
+	}
+	if !epochStart.IsZero() {
+		telEpochNS.Observe(time.Since(epochStart).Nanoseconds())
 	}
 	return n.global, nil
 }

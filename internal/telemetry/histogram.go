@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bin layout. Positive values land in log-linear bins: the
+// octave (floor log₂ v) selects a power-of-two range, split into
+// subBuckets linear sub-bins — the circllhist construction with base 2
+// instead of base 10, giving a worst-case relative error of
+// 1/subBuckets per bin over the whole positive int64 range. Two special
+// bins bracket the range: bin 0 collects zero and negative observations,
+// and the last bin collects overflow (float observations ≥ 2⁶³,
+// including +Inf).
+const (
+	subBits    = 3
+	subBuckets = 1 << subBits // 8 linear sub-bins per octave
+	octaves    = 63           // positive int64 exponents 0..62
+
+	zeroBin     = 0
+	overflowBin = 1 + octaves*subBuckets
+	numBins     = overflowBin + 1
+)
+
+// Histogram is a mergeable log-linear latency histogram (values are
+// conventionally nanoseconds, but any int64 magnitude works). All methods
+// are safe for concurrent use; Observe is lock-free and allocation-free.
+type Histogram struct {
+	name  string
+	count atomic.Uint64
+	sum   atomic.Int64
+	bins  []atomic.Uint64 // len numBins, allocated at construction
+}
+
+func newHistogram(name string) *Histogram {
+	return &Histogram{name: name, bins: make([]atomic.Uint64, numBins)}
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// binIndex maps a value to its bin.
+func binIndex(v int64) int {
+	if v <= 0 {
+		return zeroBin
+	}
+	u := uint64(v)
+	e := uint(bits.Len64(u)) - 1
+	d := u - 1<<e // offset within the octave, < 2^e
+	var sub uint64
+	if e <= subBits {
+		sub = d << (subBits - e)
+	} else {
+		sub = d >> (e - subBits)
+	}
+	return 1 + int(e)*subBuckets + int(sub)
+}
+
+// binLower returns the inclusive lower bound of a bin.
+func binLower(i int) float64 {
+	if i <= zeroBin {
+		return math.Inf(-1) // bin 0 holds everything ≤ 0
+	}
+	if i >= overflowBin {
+		return math.Ldexp(1, 63)
+	}
+	k := i - 1
+	e := k / subBuckets
+	s := k % subBuckets
+	w := math.Ldexp(1, e) // 2^e
+	return w + float64(s)*w/subBuckets
+}
+
+// binUpper returns the exclusive upper bound of a bin.
+func binUpper(i int) float64 {
+	if i <= zeroBin {
+		return 0
+	}
+	if i >= overflowBin {
+		return math.Inf(1)
+	}
+	k := i - 1
+	e := k / subBuckets
+	s := k % subBuckets
+	w := math.Ldexp(1, e)
+	return w + float64(s+1)*w/subBuckets
+}
+
+// observe records v unconditionally (kill switch already checked).
+func (h *Histogram) observe(v int64, bin int) {
+	h.bins[bin].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Observe records one value. Zero and negative values count in the
+// dedicated bottom bin (and still contribute to Count and Sum).
+func (h *Histogram) Observe(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	h.observe(v, binIndex(v))
+}
+
+// ObserveFloat records a float observation. NaN is ignored; +Inf and
+// values ≥ 2⁶³ count in the overflow bin (contributing MaxInt64 to Sum);
+// -Inf and values ≤ 0 count in the bottom bin; positive values below 1
+// count in the first positive bin.
+func (h *Histogram) ObserveFloat(f float64) {
+	if !enabled.Load() {
+		return
+	}
+	switch {
+	case math.IsNaN(f):
+		return
+	case f >= math.Ldexp(1, 63):
+		h.observe(math.MaxInt64, overflowBin)
+	case f <= 0:
+		v := int64(math.MinInt64)
+		if f > math.MinInt64 {
+			v = int64(f)
+		}
+		h.observe(v, zeroBin)
+	case f < 1:
+		h.observe(0, binIndex(1))
+	default:
+		h.observe(int64(f), binIndex(int64(f)))
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of recorded values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Merge folds other's observations into h, bin-wise. Merge is associative
+// and commutative (bin-wise addition), mirroring the aggregation core's
+// database merge, and is not gated by the kill switch: it operates on
+// already-recorded data. other is left unchanged.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range other.bins {
+		if n := other.bins[i].Load(); n != 0 {
+			h.bins[i].Add(n)
+		}
+	}
+	if n := other.count.Load(); n != 0 {
+		h.count.Add(n)
+	}
+	if s := other.sum.Load(); s != 0 {
+		h.sum.Add(s)
+	}
+}
+
+// reset zeroes all state.
+func (h *Histogram) reset() {
+	for i := range h.bins {
+		h.bins[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, safe to read
+// without synchronization. Two snapshots are equal (==-comparable) iff
+// their bin contents, counts, and sums are equal.
+type HistogramSnapshot struct {
+	Count uint64
+	Sum   int64
+	Bins  [numBins]uint64
+}
+
+// Snapshot copies the histogram's current state. Concurrent observers may
+// land between bin reads; the snapshot is internally consistent enough
+// for reporting (counts never exceed what was observed).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.bins {
+		s.Bins[i] = h.bins[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Mean returns the arithmetic mean of recorded values (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bins: the
+// midpoint of the bin containing the rank-⌈q·count⌉ observation. Returns
+// 0 for empty histograms, 0 for observations in the bottom (≤ 0) bin, and
+// +Inf for the overflow bin.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < numBins; i++ {
+		cum += s.Bins[i]
+		if cum >= rank {
+			switch i {
+			case zeroBin:
+				return 0
+			case overflowBin:
+				return math.Inf(1)
+			}
+			return (binLower(i) + binUpper(i)) / 2
+		}
+	}
+	return math.Inf(1)
+}
+
+// Max returns the exclusive upper bound of the highest populated bin
+// (0 when empty or when only the bottom bin is populated, +Inf when the
+// overflow bin is populated).
+func (s HistogramSnapshot) Max() float64 {
+	for i := numBins - 1; i > zeroBin; i-- {
+		if s.Bins[i] != 0 {
+			return binUpper(i)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// observeAll records a value list into a fresh histogram.
+func observeAll(vals []int64) *Histogram {
+	h := newHistogram("prop")
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	return h
+}
+
+// TestQuickMergeEqualsConcat mirrors the aggregation core's central
+// correctness property (TestQuickMergeEqualsConcat in internal/core):
+// merging histograms built from split observation streams must equal the
+// histogram built from the concatenated stream.
+func TestQuickMergeEqualsConcat(t *testing.T) {
+	withEnabled(t, true)
+	f := func(a, b []int64) bool {
+		ha := observeAll(a)
+		hb := observeAll(b)
+		ha.Merge(hb)
+		concat := observeAll(append(append([]int64{}, a...), b...))
+		return ha.Snapshot() == concat.Snapshot()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMergeCommutative(t *testing.T) {
+	withEnabled(t, true)
+	f := func(a, b []int64) bool {
+		ab := observeAll(a)
+		ab.Merge(observeAll(b))
+		ba := observeAll(b)
+		ba.Merge(observeAll(a))
+		return ab.Snapshot() == ba.Snapshot()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMergeAssociative(t *testing.T) {
+	withEnabled(t, true)
+	f := func(a, b, c []int64) bool {
+		// (a ⊕ b) ⊕ c
+		left := observeAll(a)
+		left.Merge(observeAll(b))
+		left.Merge(observeAll(c))
+		// a ⊕ (b ⊕ c)
+		bc := observeAll(b)
+		bc.Merge(observeAll(c))
+		right := observeAll(a)
+		right.Merge(bc)
+		return left.Snapshot() == right.Snapshot()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeManyWaysEquivalent splits one stream into k parts in random
+// ways; every merge order must reproduce the single-histogram result
+// (the property that makes per-thread and per-process histograms safe to
+// combine, like core DB merging).
+func TestMergeManyWaysEquivalent(t *testing.T) {
+	withEnabled(t, true)
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = rng.Int63n(1 << 40)
+	}
+	want := observeAll(vals).Snapshot()
+	for trial := 0; trial < 10; trial++ {
+		k := 2 + rng.Intn(5)
+		parts := make([]*Histogram, k)
+		for i := range parts {
+			parts[i] = newHistogram("part")
+		}
+		for _, v := range vals {
+			parts[rng.Intn(k)].Observe(v)
+		}
+		merged := newHistogram("merged")
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if merged.Snapshot() != want {
+			t.Fatalf("trial %d: merged snapshot differs from direct observation", trial)
+		}
+	}
+}
+
+func TestBinEdgeZero(t *testing.T) {
+	withEnabled(t, true)
+	h := newHistogram("edge")
+	h.Observe(0)
+	s := h.Snapshot()
+	if s.Bins[zeroBin] != 1 {
+		t.Errorf("Observe(0): zero bin = %d, want 1", s.Bins[zeroBin])
+	}
+	if s.Count != 1 || s.Sum != 0 {
+		t.Errorf("Observe(0): count=%d sum=%d", s.Count, s.Sum)
+	}
+	if q := s.Quantile(0.5); q != 0 {
+		t.Errorf("quantile over zero bin = %g, want 0", q)
+	}
+}
+
+func TestBinEdgeNegative(t *testing.T) {
+	withEnabled(t, true)
+	h := newHistogram("edge")
+	h.Observe(-123)
+	h.Observe(math.MinInt64)
+	s := h.Snapshot()
+	if s.Bins[zeroBin] != 2 {
+		t.Errorf("negative observations: zero bin = %d, want 2", s.Bins[zeroBin])
+	}
+	if s.Count != 2 {
+		t.Errorf("count = %d, want 2", s.Count)
+	}
+}
+
+func TestBinEdgeInf(t *testing.T) {
+	withEnabled(t, true)
+	h := newHistogram("edge")
+	h.ObserveFloat(math.Inf(1))
+	h.ObserveFloat(math.Ldexp(1, 64)) // finite but > int64 range
+	s := h.Snapshot()
+	if s.Bins[overflowBin] != 2 {
+		t.Errorf("+Inf/overflow: overflow bin = %d, want 2", s.Bins[overflowBin])
+	}
+	if !math.IsInf(s.Max(), 1) {
+		t.Errorf("Max = %g, want +Inf", s.Max())
+	}
+	if !math.IsInf(s.Quantile(0.99), 1) {
+		t.Errorf("p99 = %g, want +Inf", s.Quantile(0.99))
+	}
+}
+
+func TestBinEdgeFloatSpecials(t *testing.T) {
+	withEnabled(t, true)
+	h := newHistogram("edge")
+	h.ObserveFloat(math.NaN()) // ignored
+	if h.Count() != 0 {
+		t.Errorf("NaN recorded: count = %d", h.Count())
+	}
+	h.ObserveFloat(math.Inf(-1)) // bottom bin
+	h.ObserveFloat(-1.5)         // bottom bin
+	h.ObserveFloat(0.25)         // sub-1 positive: first positive bin
+	s := h.Snapshot()
+	if s.Bins[zeroBin] != 2 {
+		t.Errorf("-Inf/-1.5: zero bin = %d, want 2", s.Bins[zeroBin])
+	}
+	if s.Bins[binIndex(1)] != 1 {
+		t.Errorf("0.25: first positive bin = %d, want 1", s.Bins[binIndex(1)])
+	}
+}
+
+func TestBinEdgePowersOfTwo(t *testing.T) {
+	// 2^k is the first bin of octave k; 2^k - 1 the last of octave k-1.
+	for k := 1; k <= 62; k++ {
+		v := int64(1) << k
+		i, j := binIndex(v), binIndex(v-1)
+		if i != 1+k*subBuckets {
+			t.Errorf("binIndex(2^%d) = %d, want %d", k, i, 1+k*subBuckets)
+		}
+		if j >= i {
+			t.Errorf("binIndex(2^%d - 1) = %d, not below octave start %d", k, j, i)
+		}
+	}
+	if binIndex(1) != 1 {
+		t.Errorf("binIndex(1) = %d, want 1", binIndex(1))
+	}
+	if binIndex(math.MaxInt64) != overflowBin-1 {
+		t.Errorf("binIndex(MaxInt64) = %d, want %d (last regular bin)",
+			binIndex(math.MaxInt64), overflowBin-1)
+	}
+}
+
+func TestRelativeErrorBound(t *testing.T) {
+	// every positive value's bin midpoint is within 1/subBuckets of the
+	// value (the log-linear guarantee)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10000; trial++ {
+		v := rng.Int63()
+		if v == 0 {
+			continue
+		}
+		i := binIndex(v)
+		mid := (binLower(i) + binUpper(i)) / 2
+		if relErr := math.Abs(mid-float64(v)) / float64(v); relErr > 1.0/subBuckets {
+			t.Fatalf("value %d: bin midpoint %g has relative error %g > %g",
+				v, mid, relErr, 1.0/subBuckets)
+		}
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	h := newHistogram("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)*977 + 13)
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	h := newHistogram("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)*977 + 13)
+	}
+}

@@ -1,0 +1,181 @@
+package caligo
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"caligo/caliper"
+	"caligo/calql"
+	"caligo/internal/attr"
+	"caligo/internal/core"
+	"caligo/internal/telemetry"
+)
+
+// TestDogfoodedMetricsChannel exercises the self-instrumentation pipeline
+// end to end: a channel with the metrics service emits the library's own
+// telemetry as ordinary snapshot records, which a CalQL aggregation query
+// can consume like any application data.
+func TestDogfoodedMetricsChannel(t *testing.T) {
+	prev := telemetry.SetEnabled(false)
+	telemetry.Reset()
+	t.Cleanup(func() { telemetry.SetEnabled(prev) })
+
+	ch, err := caliper.NewChannel(caliper.Config{
+		"services":      "event,timer,aggregate,metrics",
+		"channel.name":  "dogfood",
+		"aggregate.key": "function",
+		"aggregate.ops": "count,sum(time.duration)",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !telemetry.Enabled() {
+		t.Fatal("metrics service did not enable telemetry collection")
+	}
+	th := ch.Thread()
+	for i := 0; i < 10; i++ {
+		th.Begin("function", "work")
+		th.End("function")
+	}
+
+	// The WHERE clause filters the per-thread telemetry records out of the
+	// channel's mixed flush output (aggregation results lack caligo.channel).
+	rs, err := calql.QueryChannel(
+		"AGGREGATE sum(caligo.snapshots) GROUP BY caligo.channel WHERE caligo.channel", ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("expected 1 row (one channel), got %d:\n%s", len(rs.Rows), rs)
+	}
+	var chanName string
+	var snaps uint64
+	for _, e := range rs.Rows[0] {
+		switch e.Attr.Name() {
+		case caliper.MetricsChannelAttr:
+			chanName = e.Value.String()
+		case "sum#" + caliper.MetricsSnapshotsAttr:
+			snaps = e.Value.AsUint()
+		}
+	}
+	if chanName != "dogfood" {
+		t.Errorf("caligo.channel = %q, want \"dogfood\"", chanName)
+	}
+	// 10 Begin/End pairs with the event service → 20 snapshots.
+	if snaps != 20 {
+		t.Errorf("sum(caligo.snapshots) = %d, want 20", snaps)
+	}
+}
+
+// TestMetricsServiceRegistryRecord checks that the per-process registry
+// record carries the global telemetry metrics (e.g. the core DB update
+// count incremented by the channel's own aggregate service).
+func TestMetricsServiceRegistryRecord(t *testing.T) {
+	prev := telemetry.SetEnabled(false)
+	telemetry.Reset()
+	t.Cleanup(func() { telemetry.SetEnabled(prev) })
+
+	ch, err := caliper.NewChannel(caliper.Config{
+		"services":      "event,aggregate,metrics",
+		"channel.name":  "registry-rec",
+		"aggregate.key": "function",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := ch.Thread()
+	th.Begin("function", "f")
+	th.End("function")
+
+	rs, err := calql.QueryChannel(
+		"AGGREGATE max(caligo.core.updates) WHERE caligo.core.updates", ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("expected 1 registry record, got %d rows", len(rs.Rows))
+	}
+	found := false
+	for _, e := range rs.Rows[0] {
+		if strings.HasPrefix(e.Attr.Name(), "max#caligo.core.updates") {
+			found = true
+			if e.Value.AsUint() == 0 {
+				t.Error("caligo.core.updates = 0, want > 0 (aggregate service ran)")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no caligo.core.updates value in row %v", rs.Rows[0])
+	}
+}
+
+// TestTelemetryDisabledZeroAlloc proves the instrumented DB update path
+// stays allocation-free when telemetry is off: the counters compile to a
+// single atomic load, and steady-state core.DB.Update was 0-alloc before
+// instrumentation. (The telemetry package's own tests cover the
+// primitive-level guarantee.)
+func TestTelemetryDisabledZeroAlloc(t *testing.T) {
+	prev := telemetry.SetEnabled(false)
+	t.Cleanup(func() { telemetry.SetEnabled(prev) })
+
+	reg := attr.NewRegistry()
+	recs := benchRecords(reg)
+	scheme := core.MustScheme([]string{"function", "iteration"},
+		[]core.OpSpec{{Kind: core.OpCount}, {Kind: core.OpSum, Target: "time.duration"}})
+	db, err := core.NewDB(scheme, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs { // create every bucket up front
+		db.Update(r)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		db.Update(recs[i%len(recs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state DB.Update allocates %.1f objects/op with telemetry disabled, want 0", allocs)
+	}
+}
+
+// TestServeDebug starts the runtime-introspection endpoint and fetches
+// the telemetry report and the expvar JSON.
+func TestServeDebug(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	t.Cleanup(func() { telemetry.SetEnabled(prev) })
+
+	srv, err := caliper.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	report := get("/debug/telemetry")
+	if !strings.Contains(report, "internal telemetry") {
+		t.Errorf("unexpected /debug/telemetry output:\n%s", report)
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, "caligo.telemetry") {
+		t.Error("/debug/vars does not expose caligo.telemetry")
+	}
+}
