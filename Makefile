@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench-smoke fuzz-seed check clean
+.PHONY: build vet test test-race bench-smoke bench-json fuzz-seed check clean
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ test-race:
 # harness without paying for real measurement runs.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Measure the span tracer's overhead (enabled and disabled paths) and
+# record the results as machine-readable JSON; the disabled path must
+# report 0 allocs/op.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkTraceOverhead' -benchmem ./internal/trace/ \
+		| $(GO) run ./cmd/benchjson > BENCH_trace.json
+	@cat BENCH_trace.json
 
 # Run the fuzz targets over their seed corpora only (no fuzzing time);
 # regressions on checked-in seeds fail fast.

@@ -39,6 +39,7 @@ import (
 	"caligo/internal/contexttree"
 	"caligo/internal/snapshot"
 	"caligo/internal/telemetry"
+	"caligo/internal/trace"
 )
 
 // Self-instrumentation (see docs/OBSERVABILITY.md). All metrics are
@@ -313,6 +314,19 @@ func (ch *Channel) FlushEmit(emit func(snapshot.FlatRecord) error) error {
 			telFlushRecords.Inc()
 			return inner(r)
 		}
+	}
+	sp := trace.Begin("caliper.flush")
+	if sp.Active() {
+		var emitted int64
+		inner := emit
+		emit = func(r snapshot.FlatRecord) error {
+			emitted++
+			return inner(r)
+		}
+		defer func() {
+			sp.ArgInt("records", emitted)
+			sp.End()
+		}()
 	}
 	for _, svc := range ch.services {
 		if f, ok := svc.(finisher); ok {

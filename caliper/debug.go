@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"caligo/internal/telemetry"
+	"caligo/internal/trace"
 )
 
 // publishOnce guards the process-wide expvar registration (expvar.Publish
@@ -38,17 +39,16 @@ func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
 // Close stops the server.
 func (s *DebugServer) Close() error { return s.ln.Close() }
 
-// ServeDebug starts an HTTP debug endpoint on addr serving:
+// DebugHandler returns the HTTP handler ServeDebug serves:
 //
 //	/debug/telemetry — plain-text report of the internal telemetry registry
+//	/debug/trace     — buffered trace spans as Chrome trace-event JSON
 //	/debug/vars      — expvar JSON, including the "caligo.telemetry" var
 //	/debug/pprof/    — the standard net/http/pprof profiling handlers
 //
-// It does not turn telemetry collection on; enable it with the "metrics"
-// service, a -stats flag, or telemetry.Enable() to see non-zero values.
-// The endpoint uses its own mux, so it never conflicts with handlers the
-// host application registers on http.DefaultServeMux.
-func ServeDebug(addr string) (*DebugServer, error) {
+// Exposed separately so host applications can mount the endpoints on
+// their own server (and tests can drive them with httptest).
+func DebugHandler() http.Handler {
 	publishTelemetry()
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -56,11 +56,26 @@ func ServeDebug(addr string) (*DebugServer, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		telemetry.WriteReport(w)
 	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteTrace(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts an HTTP debug endpoint on addr serving the
+// DebugHandler routes. It does not turn telemetry or trace collection on;
+// enable them with the "metrics" service, -stats / -trace flags, or
+// telemetry.Enable() / SetTracing to see non-empty output. The endpoint
+// uses its own mux, so it never conflicts with handlers the host
+// application registers on http.DefaultServeMux.
+func ServeDebug(addr string) (*DebugServer, error) {
+	mux := DebugHandler()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("caliper: ServeDebug: %w", err)

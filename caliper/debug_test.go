@@ -1,0 +1,139 @@
+package caliper
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"caligo/internal/telemetry"
+	"caligo/internal/trace"
+)
+
+func TestDebugHandlerEndpoints(t *testing.T) {
+	// generate some telemetry and trace data so the bodies are non-trivial
+	prevTel := telemetry.SetEnabled(true)
+	prevTr := trace.SetEnabled(true)
+	t.Cleanup(func() {
+		telemetry.SetEnabled(prevTel)
+		trace.SetEnabled(prevTr)
+	})
+	ch, err := NewChannel(Config{
+		"services":      "event,aggregate",
+		"aggregate.key": "phase",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := ch.Thread()
+	th.SetTraceRank(1)
+	if err := th.Begin("phase", "debug-test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.End("phase"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	t.Run("telemetry", func(t *testing.T) {
+		code, body, ctype := get("/debug/telemetry")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if !strings.HasPrefix(ctype, "text/plain") {
+			t.Errorf("content type %q", ctype)
+		}
+		if !strings.Contains(body, "caligo.snapshot.ns") {
+			t.Errorf("telemetry report missing snapshot counter:\n%s", body)
+		}
+	})
+
+	t.Run("trace", func(t *testing.T) {
+		code, body, ctype := get("/debug/trace")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if !strings.HasPrefix(ctype, "application/json") {
+			t.Errorf("content type %q", ctype)
+		}
+		var parsed struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+			t.Fatalf("trace body is not valid JSON: %v\n%s", err, body)
+		}
+		var names []string
+		for _, e := range parsed.TraceEvents {
+			if n, ok := e["name"].(string); ok {
+				names = append(names, n)
+			}
+		}
+		joined := strings.Join(names, " ")
+		for _, want := range []string{"caliper.snapshot", "caliper.flush", "debug-test"} {
+			if !strings.Contains(joined, want) {
+				t.Errorf("trace missing span %q in %v", want, names)
+			}
+		}
+	})
+
+	t.Run("expvar", func(t *testing.T) {
+		code, body, _ := get("/debug/vars")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		var parsed map[string]any
+		if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+			t.Fatalf("expvar body is not valid JSON: %v", err)
+		}
+		if _, ok := parsed["caligo.telemetry"]; !ok {
+			t.Error("expvar output missing caligo.telemetry")
+		}
+	})
+
+	t.Run("pprof", func(t *testing.T) {
+		code, body, _ := get("/debug/pprof/")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if !strings.Contains(body, "goroutine") {
+			t.Errorf("pprof index missing profile list:\n%.200s", body)
+		}
+	})
+}
+
+func TestServeDebugServesHandler(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}

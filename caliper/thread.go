@@ -10,6 +10,7 @@ import (
 	"caligo/internal/blackboard"
 	"caligo/internal/snapshot"
 	"caligo/internal/telemetry"
+	"caligo/internal/trace"
 )
 
 // Thread is one thread of execution's measurement state: its blackboard
@@ -44,6 +45,22 @@ type Thread struct {
 	virtNow int64
 
 	snapshots atomic.Uint64
+
+	// traceRank is the emulated MPI rank attached to this thread's trace
+	// spans (the Chrome trace process lane). Atomic: the sampler goroutine
+	// reads it in takeSnapshot while the owner may still be setting it.
+	traceRank atomic.Int32
+	// regions is the stack of open annotation-region trace spans; pushed
+	// in Begin and popped by the matching End. Empty unless tracing is on.
+	regions []regionSpan
+}
+
+// regionSpan pairs an open region span with the attribute that opened it,
+// so End can pop the right span even when regions of different attributes
+// interleave.
+type regionSpan struct {
+	attr attr.ID
+	span trace.Span
 }
 
 func (t *Thread) lock() {
@@ -132,6 +149,13 @@ func (t *Thread) Begin(name string, value any) error {
 	}
 	err = t.bb.Begin(a, v)
 	t.unlock()
+	if err == nil {
+		if sp := trace.BeginRank(v.String(), int(t.traceRank.Load())); sp.Active() {
+			sp.SetTid(t.index)
+			sp.Arg("attr", name)
+			t.regions = append(t.regions, regionSpan{attr: a.ID(), span: sp})
+		}
+	}
 	return err
 }
 
@@ -157,6 +181,16 @@ func (t *Thread) End(name string) error {
 	t.lock()
 	err := t.bb.End(a)
 	t.unlock()
+	if err == nil {
+		// pop the innermost region span opened by this attribute
+		for i := len(t.regions) - 1; i >= 0; i-- {
+			if t.regions[i].attr == a.ID() {
+				t.regions[i].span.End()
+				t.regions = append(t.regions[:i], t.regions[i+1:]...)
+				break
+			}
+		}
+	}
 	return err
 }
 
@@ -205,6 +239,9 @@ func (t *Thread) takeSnapshot() {
 	if telemetry.Enabled() {
 		snapStart = time.Now()
 	}
+	sp := trace.BeginRank("caliper.snapshot", int(t.traceRank.Load()))
+	sp.SetTid(t.index)
+	defer sp.End()
 	t.lock()
 	defer t.unlock()
 	var sb snapshot.Builder
@@ -222,6 +259,10 @@ func (t *Thread) takeSnapshot() {
 		telSnapshotNS.Observe(time.Since(snapStart).Nanoseconds())
 	}
 }
+
+// SetTraceRank tags this thread's trace spans with an emulated MPI rank;
+// the rank becomes the span's process lane in the Chrome trace export.
+func (t *Thread) SetTraceRank(rank int) { t.traceRank.Store(int32(rank)) }
 
 // SetVirtualTime sets the thread's virtual clock (nanoseconds). Only
 // meaningful with "timer.source": "virtual"; must be called from the

@@ -20,10 +20,21 @@ import (
 	"caligo/internal/pquery"
 	"caligo/internal/query"
 	"caligo/internal/snapshot"
+	"caligo/internal/trace"
 )
 
 // Query is a parsed query in the aggregation description language.
 type Query = internalcalql.Query
+
+// ExplainMode marks EXPLAIN / EXPLAIN ANALYZE statements on a Query.
+type ExplainMode = internalcalql.ExplainMode
+
+// Explain modes (the Query.Explain field).
+const (
+	ExplainNone    = internalcalql.ExplainNone
+	ExplainPlan    = internalcalql.ExplainPlan
+	ExplainAnalyze = internalcalql.ExplainAnalyze
+)
 
 // Parse parses a query, e.g.
 //
@@ -81,30 +92,52 @@ func QueryFiles(queryText string, files []string) (*Resultset, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Phase 1: read all inputs into memory (read span), then feed them
+	// through the engine (aggregate span) — the serial counterpart of the
+	// parallel path's per-rank phases, so EXPLAIN ANALYZE sees the same
+	// phase structure either way.
+	rsp := trace.Begin("query.read")
+	var recs []snapshot.FlatRecord
+	var bytesRead int64
 	for _, fn := range files {
 		f, err := os.Open(fn)
 		if err != nil {
+			rsp.End()
 			return nil, err
 		}
-		rd := calformat.NewReader(f, reg, tree)
+		cr := &countingReader{r: f}
+		rd := calformat.NewReader(cr, reg, tree)
 		for {
 			rec, err := rd.Next()
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
+				rsp.End()
 				f.Close()
 				return nil, fmt.Errorf("%s: %w", fn, err)
 			}
-			if err := eng.Process(rec); err != nil {
-				f.Close()
-				return nil, err
-			}
+			recs = append(recs, rec)
 		}
+		bytesRead += cr.n
 		if err := f.Close(); err != nil {
+			rsp.End()
 			return nil, err
 		}
 	}
+	rsp.ArgInt("files", int64(len(files)))
+	rsp.ArgInt("records", int64(len(recs)))
+	rsp.ArgInt("bytes", bytesRead)
+	rsp.End()
+
+	asp := trace.Begin("query.aggregate")
+	asp.ArgInt("records_in", int64(len(recs)))
+	if err := eng.ProcessAll(recs); err != nil {
+		asp.End()
+		return nil, err
+	}
+	asp.ArgInt("records_out", int64(eng.Size()))
+	asp.End()
 	rows, err := eng.Results()
 	if err != nil {
 		return nil, err
@@ -167,6 +200,76 @@ func QueryFilesParallel(queryText string, files []string, ranks int) (*ParallelR
 		Timing:           res.Timing,
 		RecordsProcessed: res.RecordsProcessed,
 	}, nil
+}
+
+// countingReader counts consumed bytes for the read span's bytes arg.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ExplainFiles executes an EXPLAIN or EXPLAIN ANALYZE statement against
+// the given .cali files and returns the rendered plan. With ranks > 0 the
+// plan describes (and, for ANALYZE, measures) the parallel query
+// application; otherwise the serial path. EXPLAIN resolves the plan
+// without touching the inputs; EXPLAIN ANALYZE runs the wrapped query
+// with span tracing scoped to the run and annotates each plan node with
+// measured wall time, record counts, and byte counts.
+func ExplainFiles(queryText string, files []string, ranks int) (string, error) {
+	q, err := Parse(queryText)
+	if err != nil {
+		return "", err
+	}
+	if q.Explain == ExplainNone {
+		return "", fmt.Errorf("calql: not an EXPLAIN statement: %s", queryText)
+	}
+	opts := query.PlanOptions{Inputs: len(files)}
+	if ranks > 0 {
+		opts.Ranks = ranks
+		opts.Fanin = 2
+	}
+	plan, err := query.BuildPlan(q, opts)
+	if err != nil {
+		return "", err
+	}
+	if q.Explain == ExplainAnalyze {
+		// scope span collection with Mark/Since rather than Reset, so a
+		// concurrent collection (e.g. a -trace flag) keeps its spans
+		prev := trace.SetEnabled(true)
+		mark := trace.Mark()
+		innerText := q.WithoutExplain().String()
+		var runErr error
+		if ranks > 0 {
+			var res *ParallelResult
+			res, runErr = QueryFilesParallel(innerText, files, ranks)
+			if runErr == nil {
+				runErr = res.Render(io.Discard)
+			}
+		} else {
+			var res *Resultset
+			res, runErr = QueryFiles(innerText, files)
+			if runErr == nil {
+				runErr = res.Render(io.Discard)
+			}
+		}
+		spans := trace.Since(mark)
+		trace.SetEnabled(prev)
+		if runErr != nil {
+			return "", runErr
+		}
+		plan.Annotate(spans)
+	}
+	var sb stringsBuilder
+	if err := plan.Write(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
 }
 
 type multiReadCloser struct {

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: caligo/internal/trace
+cpu: AMD EPYC 7B13
+BenchmarkTraceOverheadDisabled-8   	1000000000	         0.8052 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTraceOverheadEnabled-8    	 22328888	        53.17 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	caligo/internal/trace	2.541s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "caligo/internal/trace" {
+		t.Errorf("metadata wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "TraceOverheadDisabled" || b.Procs != 8 {
+		t.Errorf("name/procs wrong: %+v", b)
+	}
+	if b.Iterations != 1000000000 || b.NsPerOp != 0.8052 {
+		t.Errorf("iters/ns wrong: %+v", b)
+	}
+	if b.AllocsPerOp != 0 || b.BytesPerOp != 0 {
+		t.Errorf("mem stats wrong: %+v", b)
+	}
+	if rep.Benchmarks[1].NsPerOp != 53.17 {
+		t.Errorf("second benchmark ns/op = %v", rep.Benchmarks[1].NsPerOp)
+	}
+}
+
+func TestParseWithoutBenchmem(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkX-4  100  12.5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "X" || b.Iterations != 100 || b.NsPerOp != 12.5 {
+		t.Errorf("parsed wrong: %+v", b)
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	// with -v, bare "BenchmarkFoo" headers precede each result line
+	rep, err := parse(strings.NewReader("BenchmarkFoo\nBenchmarkFoo-2  10  1.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Errorf("parsed %d benchmarks, want 1", len(rep.Benchmarks))
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleBenchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Errorf("round-tripped %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Error("empty input should error")
+	}
+}

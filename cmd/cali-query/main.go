@@ -21,6 +21,7 @@ import (
 
 	"caligo/calql"
 	"caligo/internal/telemetry"
+	"caligo/internal/trace"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "run the MPI-emulated parallel query with this many ranks (0 = serial)")
 	showTiming := fs.Bool("timing", false, "print phase timing of the parallel query")
 	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run (to stderr)")
+	traceOut := fs.String("trace", "", "write spans of the run as Chrome trace-event JSON to this file (view in Perfetto)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: cali-query [flags] file.cali [file2.cali ...]\n\n")
 		fs.PrintDefaults()
@@ -60,16 +62,50 @@ func run(args []string) error {
 		telemetry.Enable()
 		defer telemetry.WriteReport(os.Stderr)
 	}
+	if *traceOut != "" {
+		trace.Enable()
+	}
+	if err := runQuery(*queryText, files, *parallel, *showTiming); err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace to %s (open in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
+	return nil
+}
 
-	if *parallel > 0 {
-		res, err := calql.QueryFilesParallel(*queryText, files, *parallel)
+func runQuery(queryText string, files []string, parallel int, showTiming bool) error {
+	// EXPLAIN / EXPLAIN ANALYZE statements print the resolved plan instead
+	// of result rows.
+	if q, err := calql.Parse(queryText); err == nil && q.Explain != calql.ExplainNone {
+		out, err := calql.ExplainFiles(queryText, files, parallel)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Print(out)
+		return err
+	}
+
+	if parallel > 0 {
+		res, err := calql.QueryFilesParallel(queryText, files, parallel)
 		if err != nil {
 			return err
 		}
 		if err := res.Render(os.Stdout); err != nil {
 			return err
 		}
-		if *showTiming {
+		if showTiming {
 			fmt.Fprintf(os.Stderr,
 				"records: %d  local: %.2f ms  reduce: %.2f ms  total (virtual): %.2f ms  wall: %v\n",
 				res.RecordsProcessed,
@@ -79,7 +115,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	res, err := calql.QueryFiles(*queryText, files)
+	res, err := calql.QueryFiles(queryText, files)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 
 	"caligo/internal/apps/paradis"
 	"caligo/internal/telemetry"
+	"caligo/internal/trace"
 )
 
 func datasetDir(t *testing.T, ranks int) []string {
@@ -73,6 +75,100 @@ func TestStatsFlag(t *testing.T) {
 		if m.Name == "caligo.calformat.records.read" && m.Counter == 0 {
 			t.Error("caligo.calformat.records.read = 0 after reading a dataset")
 		}
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	rd, wr, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStdout := os.Stdout
+	os.Stdout = wr
+	runErr := f()
+	os.Stdout = oldStdout
+	wr.Close()
+	out, readErr := io.ReadAll(rd)
+	rd.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(out)
+}
+
+// TestExplainAnalyzeWithTrace is the acceptance scenario: EXPLAIN ANALYZE
+// plus -trace must produce an annotated per-phase plan on stdout and a
+// Chrome trace JSON with spans for every pipeline phase.
+func TestExplainAnalyzeWithTrace(t *testing.T) {
+	files := datasetDir(t, 3)
+	traceFile := filepath.Join(t.TempDir(), "out.json")
+	prev := trace.SetEnabled(false)
+	trace.Reset()
+	t.Cleanup(func() { trace.SetEnabled(prev) })
+
+	out := captureStdout(t, func() error {
+		return run(append([]string{"-trace", traceFile,
+			"-q", "EXPLAIN ANALYZE SELECT kernel, sum#aggregate.count AGGREGATE sum(aggregate.count) GROUP BY kernel ORDER BY kernel"},
+			files...))
+	})
+
+	// (a) per-phase annotated plan on stdout
+	if !strings.Contains(out, "EXPLAIN ANALYZE") {
+		t.Errorf("missing plan header:\n%s", out)
+	}
+	for _, phase := range []string{"read", "aggregate", "reduce", "postprocess", "format"} {
+		if !strings.Contains(out, "-> "+phase) {
+			t.Errorf("plan missing phase %q:\n%s", phase, out)
+		}
+	}
+	if !strings.Contains(out, "spans=") || !strings.Contains(out, "time=") {
+		t.Errorf("plan not annotated with measurements:\n%s", out)
+	}
+
+	// (b) trace JSON with spans for every phase, in Chrome trace format
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "X" {
+			names[e.Name] = true
+		}
+	}
+	for _, want := range []string{"query.read", "query.aggregate", "query.reduce", "query.postprocess", "query.format"} {
+		if !names[want] {
+			t.Errorf("trace missing %s span; got %v", want, names)
+		}
+	}
+}
+
+// TestExplainPlanOnly checks EXPLAIN (without ANALYZE) prints the plan
+// without executing the query.
+func TestExplainPlanOnly(t *testing.T) {
+	files := datasetDir(t, 2)
+	out := captureStdout(t, func() error {
+		return run(append([]string{"-q", "EXPLAIN AGGREGATE count GROUP BY kernel"}, files...))
+	})
+	if !strings.Contains(out, "-> aggregate") {
+		t.Errorf("missing plan:\n%s", out)
+	}
+	if strings.Contains(out, "spans=") {
+		t.Errorf("EXPLAIN printed measurements:\n%s", out)
 	}
 }
 

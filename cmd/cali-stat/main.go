@@ -18,6 +18,7 @@ import (
 	"caligo/internal/calformat"
 	"caligo/internal/contexttree"
 	"caligo/internal/telemetry"
+	"caligo/internal/trace"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cali-stat", flag.ContinueOnError)
 	combined := fs.Bool("combined", false, "also print totals over all files")
 	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run")
+	traceOut := fs.String("trace", "", "write spans of the run as Chrome trace-event JSON to this file (view in Perfetto)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +59,9 @@ func run(args []string, w io.Writer) error {
 		telemetry.Enable()
 		defer telemetry.WriteReport(w)
 	}
+	if *traceOut != "" {
+		trace.Enable()
+	}
 
 	var all []*fileStats
 	for _, fn := range files {
@@ -65,6 +70,19 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("%s: %w", fn, err)
 		}
 		all = append(all, st)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 
 	for _, st := range all {
@@ -93,6 +111,9 @@ func run(args []string, w io.Writer) error {
 }
 
 func statFile(fn string) (*fileStats, error) {
+	sp := trace.Begin("stat.read")
+	sp.Arg("file", fn)
+	defer sp.End()
 	f, err := os.Open(fn)
 	if err != nil {
 		return nil, err
@@ -123,6 +144,7 @@ func statFile(fn string) (*fileStats, error) {
 	}
 	st.treeNodes = tree.Len()
 	st.globals = len(rd.Globals())
+	sp.ArgInt("records", int64(st.records))
 	return st, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"caligo/caliper"
 	"caligo/internal/apps/cleverleaf"
 	"caligo/internal/telemetry"
+	"caligo/internal/trace"
 )
 
 func main() {
@@ -46,12 +47,16 @@ func run(args []string) error {
 	metrics := fs.Bool("metrics", false, "add the metrics service: write the library's own telemetry into each profile")
 	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run (to stderr)")
 	debugAddr := fs.String("debug", "", "serve the expvar/pprof/telemetry debug endpoint on this address during the run")
+	traceOut := fs.String("trace", "", "write spans of the run as Chrome trace-event JSON to this file (view in Perfetto)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *showStats {
 		telemetry.Enable()
 		defer telemetry.WriteReport(os.Stderr)
+	}
+	if *traceOut != "" {
+		trace.Enable()
 	}
 	if *debugAddr != "" {
 		srv, err := caliper.ServeDebug(*debugAddr)
@@ -109,7 +114,10 @@ func run(args []string) error {
 		ThreadsPerRank: *threads,
 	}
 	err := cleverleaf.Run(appCfg, func(rank int) *caliper.Thread {
-		return channels[rank].Thread()
+		th := channels[rank].Thread()
+		// each emulated rank gets its own process lane in the trace export
+		th.SetTraceRank(rank)
+		return th
 	})
 	if err != nil {
 		return err
@@ -121,6 +129,20 @@ func run(args []string) error {
 		if err := ch.FlushAndWrite(); err != nil {
 			return fmt.Errorf("rank %d: %w", r, err)
 		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := caliper.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace to %s (open in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
 	}
 	fmt.Printf("wrote %d per-rank profiles to %s (%d snapshots total)\n",
 		*ranks, *outDir, totalSnaps)

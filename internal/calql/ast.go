@@ -8,8 +8,35 @@ import (
 	"caligo/internal/core"
 )
 
+// ExplainMode says whether (and how) a query is an EXPLAIN statement.
+type ExplainMode uint8
+
+const (
+	// ExplainNone marks an ordinary query.
+	ExplainNone ExplainMode = iota
+	// ExplainPlan (`EXPLAIN <query>`) prints the resolved execution plan
+	// without running the query.
+	ExplainPlan
+	// ExplainAnalyze (`EXPLAIN ANALYZE <query>`) runs the query and
+	// annotates each plan node with measured time, records, and bytes.
+	ExplainAnalyze
+)
+
+func (m ExplainMode) String() string {
+	switch m {
+	case ExplainPlan:
+		return "EXPLAIN"
+	case ExplainAnalyze:
+		return "EXPLAIN ANALYZE"
+	}
+	return ""
+}
+
 // Query is the parsed form of an aggregation / analysis query.
 type Query struct {
+	// Explain marks EXPLAIN / EXPLAIN ANALYZE statements; the wrapped
+	// query is the rest of the struct.
+	Explain ExplainMode
 	// Lets lists value-preprocessing definitions, applied to each input
 	// record before filtering and aggregation.
 	Lets []LetDef
@@ -234,6 +261,9 @@ func (l LetDef) String() string {
 // yields an equivalent query (round-trip property, checked by tests).
 func (q *Query) String() string {
 	var parts []string
+	if q.Explain != ExplainNone {
+		parts = append(parts, q.Explain.String())
+	}
 	if len(q.Lets) > 0 {
 		defs := make([]string, len(q.Lets))
 		for i, l := range q.Lets {
@@ -309,6 +339,14 @@ func (q *Query) Scheme() (*core.Scheme, error) {
 
 // HasAggregation reports whether the query performs aggregation.
 func (q *Query) HasAggregation() bool { return len(q.Ops) > 0 }
+
+// WithoutExplain returns a copy of the query with the EXPLAIN prefix
+// stripped — the query an EXPLAIN statement asks about.
+func (q *Query) WithoutExplain() *Query {
+	inner := *q
+	inner.Explain = ExplainNone
+	return &inner
+}
 
 // quoteRaw wraps s in double quotes, escaping only backslash and the
 // quote character — exactly the escapes the lexer understands, so any

@@ -12,6 +12,11 @@ func FuzzParse(f *testing.F) {
 		"SELECT * WHERE kernel=advec FORMAT json LIMIT 3",
 		"LET x = scale(y, 0.5) AGGREGATE histogram(x,0,10,4), percent_total(x) GROUP BY k ORDER BY k DESC",
 		"AGGREGATE ratio(a,b) AS r GROUP BY k",
+		"EXPLAIN SELECT * WHERE kernel=advec FORMAT json",
+		"EXPLAIN ANALYZE AGGREGATE count, sum(time.duration) GROUP BY function",
+		"EXPLAIN",
+		"EXPLAIN ANALYZE",
+		"SELECT explain", // "explain" is only a keyword at statement start
 		`WHERE a="quoted \" string", b!=3`,
 		"GROUP",
 		"AGGREGATE",

@@ -31,6 +31,17 @@ func Parse(input string) (*Query, error) {
 	p := &parser{toks: toks}
 	q := &Query{Limit: -1}
 
+	// EXPLAIN [ANALYZE] is a statement prefix, valid only before the first
+	// clause; elsewhere "explain" stays an ordinary identifier.
+	if keywordIs(p.peek(), "explain") {
+		p.next()
+		q.Explain = ExplainPlan
+		if keywordIs(p.peek(), "analyze") {
+			p.next()
+			q.Explain = ExplainAnalyze
+		}
+	}
+
 	for !p.at(tokEOF) {
 		t := p.peek()
 		switch {

@@ -249,6 +249,8 @@ func TestStringRoundTrip(t *testing.T) {
 		"SELECT * WHERE kernel=advec-mom FORMAT json",
 		"AGGREGATE histogram(x,0,100,10) GROUP BY k",
 		"AGGREGATE min(x), max(x), avg(x), stddev(x), scount(x) GROUP BY k",
+		"EXPLAIN SELECT * WHERE kernel=advec-mom FORMAT json",
+		"EXPLAIN ANALYZE AGGREGATE count, sum(time.duration) GROUP BY function",
 	}
 	for _, in := range queries {
 		q1, err := Parse(in)
@@ -265,6 +267,46 @@ func TestStringRoundTrip(t *testing.T) {
 		if q2.String() != printed {
 			t.Errorf("round trip not a fixpoint:\n 1st: %s\n 2nd: %s", printed, q2.String())
 		}
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	cases := []struct {
+		in   string
+		mode ExplainMode
+	}{
+		{"SELECT *", ExplainNone},
+		{"EXPLAIN SELECT *", ExplainPlan},
+		{"explain analyze SELECT *", ExplainAnalyze},
+		{"EXPLAIN ANALYZE AGGREGATE count GROUP BY k", ExplainAnalyze},
+		{"EXPLAIN", ExplainPlan},         // a bare EXPLAIN wraps the empty (pass-through) query
+		{"EXPLAIN ANALYZE", ExplainAnalyze},
+	}
+	for _, tc := range cases {
+		q, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if q.Explain != tc.mode {
+			t.Errorf("Parse(%q).Explain = %v, want %v", tc.in, q.Explain, tc.mode)
+		}
+		if inner := q.WithoutExplain(); inner.Explain != ExplainNone {
+			t.Errorf("WithoutExplain kept mode %v", inner.Explain)
+		}
+	}
+	// "explain" is only a keyword at statement start: elsewhere it stays an
+	// ordinary identifier.
+	q, err := Parse("SELECT explain WHERE explain=analyze")
+	if err != nil {
+		t.Fatalf("explain as identifier: %v", err)
+	}
+	if q.Explain != ExplainNone || q.Select[0].Label != "explain" {
+		t.Errorf("mid-query explain mis-parsed: %+v", q)
+	}
+	// ... and EXPLAIN EXPLAIN is therefore a plain parse error.
+	if _, err := Parse("EXPLAIN EXPLAIN SELECT *"); err == nil {
+		t.Error("EXPLAIN EXPLAIN parsed; want error")
 	}
 }
 

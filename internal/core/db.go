@@ -8,6 +8,7 @@ import (
 	"caligo/internal/attr"
 	"caligo/internal/snapshot"
 	"caligo/internal/telemetry"
+	"caligo/internal/trace"
 )
 
 // Self-instrumentation (see docs/OBSERVABILITY.md). All counters are
@@ -546,11 +547,15 @@ func (db *DB) inclusiveAdditions(keys []string, keyAttrs []attr.Attribute) map[s
 
 // FlushRecords is Flush collecting the output records into a slice.
 func (db *DB) FlushRecords() ([]snapshot.FlatRecord, error) {
+	sp := trace.Begin("core.flush")
+	sp.ArgInt("buckets", int64(len(db.buckets)))
 	var out []snapshot.FlatRecord
 	err := db.Flush(func(r snapshot.FlatRecord) error {
 		out = append(out, r)
 		return nil
 	})
+	sp.ArgInt("records", int64(len(out)))
+	sp.End()
 	return out, err
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"caligo/internal/attr"
+	"caligo/internal/trace"
 )
 
 // Wire format for aggregation database state, used by the tree-based
@@ -178,6 +179,15 @@ func (r *wireReader) variant() attr.Variant {
 // MergeEncodedState decodes a state blob produced by EncodeState (from a
 // DB with an equal scheme) and merges its aggregation records into db.
 func (db *DB) MergeEncodedState(data []byte) error {
+	sp := trace.Begin("core.merge")
+	if sp.Active() {
+		sp.ArgInt("bytes", int64(len(data)))
+		sp.Arg("scheme", db.scheme.String())
+		defer func() {
+			sp.ArgInt("buckets", int64(len(db.buckets)))
+			sp.End()
+		}()
+	}
 	r := &wireReader{buf: data}
 	if v := r.byte(); r.err == nil && v != wireVersion {
 		return fmt.Errorf("core: decode state: version %d, want %d", v, wireVersion)

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"caligo/internal/telemetry"
+	"caligo/internal/trace"
 )
 
 // Self-instrumentation (see docs/OBSERVABILITY.md). All counters are
@@ -185,13 +186,19 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	}
 	telMessages.Inc()
 	telMsgBytes.Add(uint64(len(data)))
+	sp := trace.BeginRank("mpi.send", c.rank)
+	sp.ArgInt("dst", int64(dst))
+	sp.ArgInt("tag", int64(tag))
+	sp.ArgInt("bytes", int64(len(data)))
 	m := c.world.cost
 	c.clock += m.Overhead
 	arrival := c.clock + m.Latency + float64(len(data))*m.PerByte
 	select {
 	case c.world.inbox[dst] <- message{src: c.rank, tag: tag, data: data, arrival: arrival}:
+		sp.End()
 		return nil
 	case <-c.world.done:
+		sp.End()
 		return errAborted
 	}
 }
@@ -203,6 +210,9 @@ func (c *Comm) Recv(src, tag int) ([]byte, int, error) {
 	if src != AnySource && (src < 0 || src >= c.world.size) {
 		return nil, 0, fmt.Errorf("mpi: recv: invalid source rank %d", src)
 	}
+	sp := trace.BeginRank("mpi.recv", c.rank)
+	sp.ArgInt("src", int64(src))
+	sp.ArgInt("tag", int64(tag))
 	matches := func(m message) bool {
 		return (src == AnySource || m.src == src) && m.tag == tag
 	}
@@ -210,6 +220,8 @@ func (c *Comm) Recv(src, tag int) ([]byte, int, error) {
 		if matches(m) {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
 			c.arrive(m)
+			sp.ArgInt("bytes", int64(len(m.data)))
+			sp.End()
 			return m.data, m.src, nil
 		}
 	}
@@ -218,10 +230,13 @@ func (c *Comm) Recv(src, tag int) ([]byte, int, error) {
 		case m := <-c.world.inbox[c.rank]:
 			if matches(m) {
 				c.arrive(m)
+				sp.ArgInt("bytes", int64(len(m.data)))
+				sp.End()
 				return m.data, m.src, nil
 			}
 			c.pending = append(c.pending, m)
 		case <-c.world.done:
+			sp.End()
 			return nil, 0, errAborted
 		}
 	}

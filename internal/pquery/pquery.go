@@ -26,6 +26,7 @@ import (
 	"caligo/internal/query"
 	"caligo/internal/snapshot"
 	"caligo/internal/telemetry"
+	"caligo/internal/trace"
 )
 
 // Self-instrumentation (see docs/OBSERVABILITY.md). All metrics are
@@ -129,34 +130,48 @@ func runRank(c *mpi.Comm, q *calql.Query, provider InputProvider, fanin int) (*R
 		return nil, err
 	}
 
-	// Phase 1: read and process process-local input.
+	// Phase 1: read process-local input into memory (read span), then feed
+	// it through the engine (aggregate span). The two sub-phases are
+	// separated so EXPLAIN ANALYZE can attribute I/O and compute time
+	// independently.
 	localStart := time.Now()
-	var processed uint64
+	var recs []snapshot.FlatRecord
 	in, err := provider(c.Rank())
 	if err != nil {
 		return nil, fmt.Errorf("rank %d: open input: %w", c.Rank(), err)
 	}
 	if in != nil {
-		rd := calformat.NewReader(in, reg, tree)
+		rsp := trace.BeginRank("pquery.read", c.Rank())
+		cr := &countingReader{r: in}
+		rd := calformat.NewReader(cr, reg, tree)
 		for {
 			rec, err := rd.Next()
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
+				rsp.End()
 				in.Close()
 				return nil, fmt.Errorf("rank %d: read input: %w", c.Rank(), err)
 			}
-			processed++
-			if err := eng.Process(rec); err != nil {
-				in.Close()
-				return nil, err
-			}
+			recs = append(recs, rec)
 		}
+		rsp.ArgInt("records", int64(len(recs)))
+		rsp.ArgInt("bytes", cr.n)
+		rsp.End()
 		if err := in.Close(); err != nil {
 			return nil, err
 		}
 	}
+	processed := uint64(len(recs))
+	asp := trace.BeginRank("pquery.aggregate", c.Rank())
+	asp.ArgInt("records_in", int64(len(recs)))
+	if err := eng.ProcessAll(recs); err != nil {
+		asp.End()
+		return nil, err
+	}
+	asp.ArgInt("records_out", int64(eng.Size()))
+	asp.End()
 	localWall := time.Since(localStart)
 	telRecords.Add(processed)
 	telLocalNS.Observe(localWall.Nanoseconds())
@@ -169,6 +184,19 @@ func runRank(c *mpi.Comm, q *calql.Query, provider InputProvider, fanin int) (*R
 		return reduceAggregated(c, q, eng, fanin, localWall, localVirt, processed)
 	}
 	return gatherRows(c, q, eng, reg, localWall, localVirt, processed)
+}
+
+// countingReader counts bytes consumed from the underlying reader, for
+// the read span's bytes attribute.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // countedPayload frames a DB state with the rank-processed record count.
@@ -241,32 +269,42 @@ func reduceAggregated(c *mpi.Comm, q *calql.Query, eng *query.Engine, fanin int,
 	if telemetry.Enabled() {
 		reduceStart = time.Now()
 	}
+	sp := trace.BeginRank("pquery.reduce", c.Rank())
+	sp.ArgInt("bytes", int64(len(payload)))
 	final, err := c.ReduceFanin(0, payload, combine, fanin)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	if !reduceStart.IsZero() {
 		telReduceNS.Observe(time.Since(reduceStart).Nanoseconds())
 	}
 	if c.Rank() != 0 {
+		sp.End()
 		return nil, nil
 	}
 	p, err := decodePayload(final)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	rootReg := attr.NewRegistry()
 	rootDB, err := core.NewDB(scheme, rootReg)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	if err := rootDB.MergeEncodedState(p.state); err != nil {
+		sp.End()
 		return nil, err
 	}
 	rows, err := rootDB.FlushRecords()
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.ArgInt("rows", int64(len(rows)))
+	sp.End()
 	rows = query.Finalize(q, rootReg, rows)
 	return &Result{
 		Rows:             rows,
@@ -302,11 +340,15 @@ func gatherRows(c *mpi.Comm, q *calql.Query, eng *query.Engine, reg *attr.Regist
 		return nil, err
 	}
 	blob := buf.Bytes()
+	sp := trace.BeginRank("pquery.reduce", c.Rank())
+	sp.ArgInt("bytes", int64(len(blob)))
 	gathered, err := c.Gather(0, encodePayload(countedPayload{state: blob, processed: processed}))
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	if c.Rank() != 0 {
+		sp.End()
 		return nil, nil
 	}
 	rootReg := attr.NewRegistry()
@@ -316,16 +358,20 @@ func gatherRows(c *mpi.Comm, q *calql.Query, eng *query.Engine, reg *attr.Regist
 	for _, g := range gathered {
 		p, err := decodePayload(g)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		total += p.processed
 		rd := calformat.NewReader(bytes.NewReader(p.state), rootReg, rootTree)
 		recs, err := rd.ReadAll()
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		all = append(all, recs...)
 	}
+	sp.ArgInt("rows", int64(len(all)))
+	sp.End()
 	all = query.Finalize(q, rootReg, all)
 	return &Result{
 		Rows:             all,

@@ -16,6 +16,7 @@ import (
 	"caligo/internal/calql"
 	"caligo/internal/core"
 	"caligo/internal/snapshot"
+	"caligo/internal/trace"
 )
 
 // Engine executes one query over a stream of records.
@@ -193,29 +194,60 @@ func compareToLiteral(v attr.Variant, lit string) int {
 	return attr.Compare(attr.StringV(v.String()), attr.StringV(lit))
 }
 
+// Size reports the engine's current result size: aggregation records for
+// aggregating queries, collected rows otherwise.
+func (e *Engine) Size() int {
+	if e.db != nil {
+		return e.db.Len()
+	}
+	return len(e.rows)
+}
+
 // Results finalizes the query: flushes the aggregation database (if any),
 // evaluates post-aggregation operators, and applies ORDER BY and LIMIT.
 func (e *Engine) Results() ([]snapshot.FlatRecord, error) {
+	// the reduce span covers turning accumulated state into result rows;
+	// non-aggregating queries pass their collected rows through, which is
+	// still the pipeline's reduce position (mode arg tells them apart)
+	sp := trace.Begin("query.reduce")
 	var rows []snapshot.FlatRecord
 	if e.db != nil {
+		sp.Arg("mode", "flush")
+		sp.ArgInt("buckets", int64(e.db.Len()))
 		var err error
 		rows, err = e.db.FlushRecords()
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 	} else {
+		sp.Arg("mode", "passthrough")
 		rows = e.rows
 	}
-	rows, err := ApplyPostOps(e.q, e.reg, rows)
+	sp.ArgInt("rows", int64(len(rows)))
+	sp.End()
+	return postprocess(e.q, e.reg, rows)
+}
+
+// postprocess runs the shared post-aggregation tail: post-ops, ORDER BY,
+// LIMIT. One definition serves Results and Finalize so the
+// query.postprocess span means the same thing on every path.
+func postprocess(q *calql.Query, reg *attr.Registry, rows []snapshot.FlatRecord) ([]snapshot.FlatRecord, error) {
+	sp := trace.Begin("query.postprocess")
+	sp.ArgInt("rows_in", int64(len(rows)))
+	rows, err := ApplyPostOps(q, reg, rows)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	if len(e.q.OrderBy) > 0 {
-		sortRows(rows, resolveOrderAliases(e.q))
+	if len(q.OrderBy) > 0 {
+		sortRows(rows, resolveOrderAliases(q))
 	}
-	if e.q.Limit >= 0 && len(rows) > e.q.Limit {
-		rows = rows[:e.q.Limit]
+	if q.Limit >= 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
 	}
+	sp.ArgInt("rows_out", int64(len(rows)))
+	sp.End()
 	return rows, nil
 }
 
@@ -330,9 +362,11 @@ func sortRows(rows []snapshot.FlatRecord, keys []calql.OrderItem) {
 // and LIMIT clauses to result rows produced elsewhere (e.g. by the
 // parallel cross-process reduction, which aggregates outside an Engine).
 func Finalize(q *calql.Query, reg *attr.Registry, rows []snapshot.FlatRecord) []snapshot.FlatRecord {
-	if out, err := ApplyPostOps(q, reg, rows); err == nil {
-		rows = out
+	if out, err := postprocess(q, reg, rows); err == nil {
+		return out
 	}
+	// lenient on post-op errors (e.g. result attribute already exists):
+	// fall back to ordering and limiting the rows as-is
 	if len(q.OrderBy) > 0 {
 		sortRows(rows, resolveOrderAliases(q))
 	}

@@ -12,6 +12,7 @@ import (
 	"caligo/internal/calql"
 	"caligo/internal/contexttree"
 	"caligo/internal/snapshot"
+	"caligo/internal/trace"
 )
 
 // column is one output column: the attribute label it reads and the header
@@ -95,6 +96,16 @@ func isNumericCol(rows []snapshot.FlatRecord, label string) bool {
 
 // Write renders the result rows in the query's output format.
 func (e *Engine) Write(w io.Writer, rows []snapshot.FlatRecord) error {
+	sp := trace.Begin("query.format")
+	if sp.Active() {
+		kind := e.q.Format.Kind
+		if kind == "" {
+			kind = "table"
+		}
+		sp.Arg("kind", kind)
+		sp.ArgInt("rows", int64(len(rows)))
+		defer sp.End()
+	}
 	switch e.q.Format.Kind {
 	case "", "table":
 		return writeTable(w, e.q, rows)

@@ -23,6 +23,7 @@ import (
 	"caligo/internal/mpi"
 	"caligo/internal/snapshot"
 	"caligo/internal/telemetry"
+	"caligo/internal/trace"
 )
 
 // Self-instrumentation (see docs/OBSERVABILITY.md). All metrics are
@@ -115,9 +116,13 @@ func (n *Node) Sync() (*core.DB, error) {
 	if telemetry.Enabled() {
 		epochStart = time.Now()
 	}
+	sp := trace.BeginRank("rnet.sync", n.comm.Rank())
+	defer sp.End()
 	payload := n.delta.EncodeState()
 	n.delta.Clear()
 	telDeltaBytes.Add(uint64(len(payload)))
+	sp.ArgInt("epoch", int64(n.epochs))
+	sp.ArgInt("bytes", int64(len(payload)))
 
 	combine := func(a, b []byte) ([]byte, error) {
 		reg := attr.NewRegistry()
