@@ -26,6 +26,10 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkTraceOverhead' -benchmem ./internal/trace/ \
 		| $(GO) run ./cmd/benchjson > BENCH_trace.json
 	@cat BENCH_trace.json
+	$(GO) test -run '^$$' -bench 'QueryFilesSharded|WhereCompiled|WhereEvalCondition|SortRows|BenchmarkMerge' \
+		-benchmem ./calql/ ./internal/query/ ./internal/core/ \
+		| $(GO) run ./cmd/benchjson > BENCH_query.json
+	@cat BENCH_query.json
 
 # Run the fuzz targets over their seed corpora only (no fuzzing time);
 # regressions on checked-in seeds fail fast.

@@ -145,6 +145,26 @@ func QueryFiles(queryText string, files []string) (*Resultset, error) {
 	return &Resultset{Rows: rows, Reg: reg, Query: q}, nil
 }
 
+// QueryFilesJobs runs a query over the given .cali files with up to jobs
+// in-process read+aggregate workers (sharded multi-core execution): files
+// are fanned out round-robin, each worker aggregates its subset into a
+// private database shard, and the shards are folded together with a
+// pairwise merge tree before the shared postprocess tail. The output is
+// byte-identical to QueryFiles. jobs <= 0 selects one worker per CPU;
+// jobs == 1 shares the code path but runs a single worker.
+func QueryFilesJobs(queryText string, files []string, jobs int) (*Resultset, error) {
+	q, err := Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	reg := attr.NewRegistry()
+	rows, err := query.RunShardedFiles(q, reg, files, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Resultset{Rows: rows, Reg: reg, Query: q}, nil
+}
+
 // ParallelTiming re-exports the parallel query phase breakdown.
 type ParallelTiming = pquery.Timing
 
@@ -222,6 +242,16 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // with span tracing scoped to the run and annotates each plan node with
 // measured wall time, record counts, and byte counts.
 func ExplainFiles(queryText string, files []string, ranks int) (string, error) {
+	return ExplainFilesJobs(queryText, files, ranks, 1)
+}
+
+// ExplainFilesJobs is ExplainFiles with a sharded-execution worker count:
+// with ranks == 0 and jobs != 1 the plan describes (and, for ANALYZE,
+// measures) the sharded multi-core path with that many workers (jobs <= 0
+// resolves to one worker per CPU, capped at the file count, matching
+// QueryFilesJobs). Ranks take precedence: the emulated-MPI path has its
+// own internal parallelism.
+func ExplainFilesJobs(queryText string, files []string, ranks, jobs int) (string, error) {
 	q, err := Parse(queryText)
 	if err != nil {
 		return "", err
@@ -229,10 +259,18 @@ func ExplainFiles(queryText string, files []string, ranks int) (string, error) {
 	if q.Explain == ExplainNone {
 		return "", fmt.Errorf("calql: not an EXPLAIN statement: %s", queryText)
 	}
+	if jobs <= 0 {
+		jobs = query.DefaultJobs()
+	}
+	if jobs > len(files) {
+		jobs = len(files)
+	}
 	opts := query.PlanOptions{Inputs: len(files)}
 	if ranks > 0 {
 		opts.Ranks = ranks
 		opts.Fanin = 2
+	} else if jobs > 1 {
+		opts.Jobs = jobs
 	}
 	plan, err := query.BuildPlan(q, opts)
 	if err != nil {
@@ -245,13 +283,20 @@ func ExplainFiles(queryText string, files []string, ranks int) (string, error) {
 		mark := trace.Mark()
 		innerText := q.WithoutExplain().String()
 		var runErr error
-		if ranks > 0 {
+		switch {
+		case ranks > 0:
 			var res *ParallelResult
 			res, runErr = QueryFilesParallel(innerText, files, ranks)
 			if runErr == nil {
 				runErr = res.Render(io.Discard)
 			}
-		} else {
+		case jobs > 1:
+			var res *Resultset
+			res, runErr = QueryFilesJobs(innerText, files, jobs)
+			if runErr == nil {
+				runErr = res.Render(io.Discard)
+			}
+		default:
 			var res *Resultset
 			res, runErr = QueryFiles(innerText, files)
 			if runErr == nil {

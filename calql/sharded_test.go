@@ -1,0 +1,167 @@
+package calql
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"caligo/caliper"
+)
+
+// writeDatasetN writes one .cali dataset with n begin/end pairs, so test
+// inputs can be deliberately uneven across shard workers.
+func writeDatasetN(t *testing.T, path string, rank, n int) {
+	t.Helper()
+	ch, err := caliper.NewChannel(caliper.Config{
+		"services":          "event,timer,aggregate,recorder",
+		"aggregate.key":     "kernel,mpi.rank",
+		"aggregate.ops":     "count,sum(time.duration)",
+		"recorder.filename": path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := ch.Thread()
+	th.Set("mpi.rank", rank)
+	kernels := []string{"advec", "calc-dt", "pdv", "flux"}
+	for i := 0; i < n; i++ {
+		th.Begin("kernel", kernels[i%len(kernels)])
+		th.End("kernel")
+	}
+	if err := ch.FlushAndWrite(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// shardedFiles builds an uneven multi-file dataset: file r holds 10+7r
+// records, so round-robin shards carry different loads.
+func shardedFiles(t *testing.T, nfiles int) []string {
+	t.Helper()
+	dir := t.TempDir()
+	var files []string
+	for r := 0; r < nfiles; r++ {
+		p := filepath.Join(dir, fmt.Sprintf("rank%02d.cali", r))
+		writeDatasetN(t, p, r, 10+7*r)
+		files = append(files, p)
+	}
+	return files
+}
+
+// TestQueryFilesJobsMatchesSerial is the golden guarantee of the sharded
+// executor: for every worker count, the rendered output is byte-identical
+// to serial execution — including ORDER BY, LIMIT, post-aggregation
+// operators, and non-aggregating selection queries.
+func TestQueryFilesJobsMatchesSerial(t *testing.T) {
+	files := shardedFiles(t, 8)
+	queries := []string{
+		"AGGREGATE sum(aggregate.count), sum(sum#time.duration) GROUP BY kernel",
+		"AGGREGATE count, sum(aggregate.count) GROUP BY kernel, mpi.rank",
+		"AGGREGATE sum(aggregate.count) GROUP BY kernel ORDER BY sum#aggregate.count DESC LIMIT 2",
+		"SELECT kernel, sum#aggregate.count AS n AGGREGATE sum(aggregate.count), percent_total(aggregate.count) GROUP BY kernel ORDER BY n FORMAT csv",
+		"AGGREGATE min(sum#time.duration), max(sum#time.duration), avg(sum#time.duration) GROUP BY mpi.rank FORMAT json",
+		"SELECT * WHERE kernel = advec FORMAT json",
+		"AGGREGATE sum(aggregate.count) WHERE mpi.rank < 5 GROUP BY kernel",
+	}
+	for _, q := range queries {
+		serial, err := QueryFiles(q, files)
+		if err != nil {
+			t.Fatalf("serial %q: %v", q, err)
+		}
+		want := serial.String()
+		for _, jobs := range []int{1, 3, 8} {
+			rs, err := QueryFilesJobs(q, files, jobs)
+			if err != nil {
+				t.Fatalf("jobs=%d %q: %v", jobs, q, err)
+			}
+			if got := rs.String(); got != want {
+				t.Errorf("jobs=%d %q output differs from serial:\n--- serial ---\n%s--- sharded ---\n%s",
+					jobs, q, want, got)
+			}
+		}
+	}
+}
+
+// TestQueryFilesJobsDefaults checks the jobs <= 0 resolution (one worker
+// per CPU, capped at the file count) and the single-file edge.
+func TestQueryFilesJobsDefaults(t *testing.T) {
+	files := shardedFiles(t, 2)
+	const q = "AGGREGATE sum(aggregate.count) GROUP BY kernel"
+	rs, err := QueryFilesJobs(q, files, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := QueryFiles(q, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.String() != serial.String() {
+		t.Error("default-jobs output differs from serial")
+	}
+	one, err := QueryFilesJobs("AGGREGATE count GROUP BY kernel", files[:1], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Rows) == 0 {
+		t.Error("single-file sharded query returned no rows")
+	}
+}
+
+// TestQueryFilesJobsConcurrentMerge drives the widest merge tree the test
+// datasets allow — 16 files, 16 workers → 4 reduction levels with up to 8
+// concurrent pairwise merges — and checks the result against serial
+// execution. Run under -race this covers the concurrent shard merge path.
+func TestQueryFilesJobsConcurrentMerge(t *testing.T) {
+	files := shardedFiles(t, 16)
+	const q = "AGGREGATE count, sum(aggregate.count), sum(sum#time.duration) GROUP BY kernel, mpi.rank"
+	serial, err := QueryFiles(q, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := QueryFilesJobs(q, files, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != sharded.String() {
+		t.Error("16-way sharded output differs from serial")
+	}
+}
+
+// TestExplainFilesJobs checks that EXPLAIN resolves the sharded execution
+// mode with shard and merge plan nodes, and that EXPLAIN ANALYZE
+// attributes measured spans to them.
+func TestExplainFilesJobs(t *testing.T) {
+	files := shardedFiles(t, 4)
+	out, err := ExplainFilesJobs(
+		"EXPLAIN AGGREGATE sum(aggregate.count) GROUP BY kernel", files, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sharded (4 parallel workers", "-> shard", "-> merge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = ExplainFilesJobs(
+		"EXPLAIN ANALYZE AGGREGATE sum(aggregate.count) GROUP BY kernel", files, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sharded (4 parallel workers") {
+		t.Errorf("EXPLAIN ANALYZE not sharded:\n%s", out)
+	}
+	// 4 workers → 4 shard spans; 3 pairwise merges
+	if !strings.Contains(out, "spans=4") || !strings.Contains(out, "spans=3") {
+		t.Errorf("EXPLAIN ANALYZE span counts missing (want spans=4 shard, spans=3 merge):\n%s", out)
+	}
+	// jobs == 1 keeps the serial plan shape
+	out, err = ExplainFilesJobs(
+		"EXPLAIN AGGREGATE count GROUP BY kernel", files, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "execution: serial") || strings.Contains(out, "-> shard") {
+		t.Errorf("jobs=1 EXPLAIN should be serial:\n%s", out)
+	}
+}

@@ -12,6 +12,7 @@
 //	cali-query -q "AGGREGATE count, sum(time.duration) GROUP BY mpi.function" rank-*.cali
 //	cali-query -q "AGGREGATE sum(aggregate.count) GROUP BY kernel FORMAT csv" profile.cali
 //	cali-query -parallel 16 -q "..." rank-*.cali     # tree reduction over 16 ranks
+//	cali-query -j 8 -q "..." rank-*.cali             # 8 in-process shard workers
 package main
 
 import (
@@ -35,6 +36,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("cali-query", flag.ContinueOnError)
 	queryText := fs.String("q", "", "query in the aggregation description language (required)")
 	parallel := fs.Int("parallel", 0, "run the MPI-emulated parallel query with this many ranks (0 = serial)")
+	jobs := fs.Int("j", 1, "sharded multi-core execution with this many read+aggregate workers (1 = serial, 0 = one per CPU)")
 	showTiming := fs.Bool("timing", false, "print phase timing of the parallel query")
 	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run (to stderr)")
 	traceOut := fs.String("trace", "", "write spans of the run as Chrome trace-event JSON to this file (view in Perfetto)")
@@ -65,7 +67,7 @@ func run(args []string) error {
 	if *traceOut != "" {
 		trace.Enable()
 	}
-	if err := runQuery(*queryText, files, *parallel, *showTiming); err != nil {
+	if err := runQuery(*queryText, files, *parallel, *jobs, *showTiming); err != nil {
 		return err
 	}
 	if *traceOut != "" {
@@ -85,11 +87,11 @@ func run(args []string) error {
 	return nil
 }
 
-func runQuery(queryText string, files []string, parallel int, showTiming bool) error {
+func runQuery(queryText string, files []string, parallel, jobs int, showTiming bool) error {
 	// EXPLAIN / EXPLAIN ANALYZE statements print the resolved plan instead
 	// of result rows.
 	if q, err := calql.Parse(queryText); err == nil && q.Explain != calql.ExplainNone {
-		out, err := calql.ExplainFiles(queryText, files, parallel)
+		out, err := calql.ExplainFilesJobs(queryText, files, parallel, jobs)
 		if err != nil {
 			return err
 		}
@@ -113,6 +115,14 @@ func runQuery(queryText string, files []string, parallel int, showTiming bool) e
 				res.Timing.TotalVirt/1e6, res.Timing.TotalWall)
 		}
 		return nil
+	}
+
+	if jobs != 1 {
+		res, err := calql.QueryFilesJobs(queryText, files, jobs)
+		if err != nil {
+			return err
+		}
+		return res.Render(os.Stdout)
 	}
 
 	res, err := calql.QueryFiles(queryText, files)

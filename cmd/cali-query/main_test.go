@@ -41,6 +41,39 @@ func TestParallelQuery(t *testing.T) {
 	}
 }
 
+// TestShardedQuery checks the -j flag: sharded execution must print the
+// same bytes as the serial run, for both an explicit worker count and the
+// -j 0 one-per-CPU default.
+func TestShardedQuery(t *testing.T) {
+	files := datasetDir(t, 6)
+	const q = "AGGREGATE sum(aggregate.count), sum(sum#time.duration) GROUP BY kernel, mpi.function"
+	serial := captureStdout(t, func() error {
+		return run(append([]string{"-q", q}, files...))
+	})
+	for _, j := range []string{"6", "0"} {
+		sharded := captureStdout(t, func() error {
+			return run(append([]string{"-j", j, "-q", q}, files...))
+		})
+		if sharded != serial {
+			t.Errorf("-j %s output differs from serial:\n--- serial ---\n%s--- sharded ---\n%s",
+				j, serial, sharded)
+		}
+	}
+}
+
+// TestShardedExplain checks that -j routes EXPLAIN to the sharded plan.
+func TestShardedExplain(t *testing.T) {
+	files := datasetDir(t, 4)
+	out := captureStdout(t, func() error {
+		return run(append([]string{"-j", "4",
+			"-q", "EXPLAIN AGGREGATE count GROUP BY kernel"}, files...))
+	})
+	if !strings.Contains(out, "sharded (4 parallel workers") ||
+		!strings.Contains(out, "-> shard") || !strings.Contains(out, "-> merge") {
+		t.Errorf("missing sharded plan nodes:\n%s", out)
+	}
+}
+
 // TestStatsFlag runs a query with -stats on a real dataset and checks
 // that the telemetry report lands on stderr with non-zero read counters.
 func TestStatsFlag(t *testing.T) {

@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 
 	"caligo/internal/attr"
 	"caligo/internal/calformat"
@@ -46,6 +48,7 @@ type attrStats struct {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cali-stat", flag.ContinueOnError)
 	combined := fs.Bool("combined", false, "also print totals over all files")
+	jobs := fs.Int("j", 0, "scan this many files in parallel (0 = one per CPU)")
 	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run")
 	traceOut := fs.String("trace", "", "write spans of the run as Chrome trace-event JSON to this file (view in Perfetto)")
 	if err := fs.Parse(args); err != nil {
@@ -63,13 +66,38 @@ func run(args []string, w io.Writer) error {
 		trace.Enable()
 	}
 
-	var all []*fileStats
-	for _, fn := range files {
-		st, err := statFile(fn)
+	// scan files in parallel: each file uses a private registry and context
+	// tree, so workers are fully independent; results land at their file's
+	// index, keeping the report order identical to the serial scan
+	nw := *jobs
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > len(files) {
+		nw = len(files)
+	}
+	all := make([]*fileStats, len(files))
+	errs := make([]error, len(files))
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(files); i += nw {
+				st, err := statFile(files[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: %w", files[i], err)
+					continue
+				}
+				all[i] = st
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return fmt.Errorf("%s: %w", fn, err)
+			return err
 		}
-		all = append(all, st)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

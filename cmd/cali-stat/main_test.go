@@ -33,6 +33,28 @@ func TestStatDataset(t *testing.T) {
 	}
 }
 
+// TestStatParallelScanOrder checks that the parallel file scan reports
+// files in argument order regardless of worker count.
+func TestStatParallelScanOrder(t *testing.T) {
+	dir := t.TempDir()
+	cfg := paradis.Config{Kernels: 3, MPIFunctions: 2, Iterations: 2, ExtraRecords: 1}
+	paths, err := paradis.GenerateDir(dir, 6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial, parallel strings.Builder
+	if err := run(append([]string{"-j", "1"}, paths...), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-j", "6"}, paths...), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-j 6 report differs from -j 1:\n%s\nvs\n%s",
+			parallel.String(), serial.String())
+	}
+}
+
 func TestStatsFlag(t *testing.T) {
 	dir := t.TempDir()
 	cfg := paradis.Config{Kernels: 3, MPIFunctions: 2, Iterations: 2, ExtraRecords: 1}

@@ -33,6 +33,12 @@ type DB struct {
 	reg    *attr.Registry
 
 	buckets map[string]*bucket
+	// order logs buckets in insertion order, so Merge can walk the source
+	// without allocating and sorting a key snapshot per call.
+	order []*bucket
+	// flushOrder caches the key-sorted bucket order Flush and EncodeState
+	// emit in; it is invalidated whenever a bucket is inserted.
+	flushOrder []*bucket
 
 	// roles caches, per attribute id, how the attribute participates in
 	// the scheme. Grown lazily as new attribute ids appear.
@@ -65,13 +71,13 @@ type role struct {
 	reaggOf  []int // ops for which this attribute is the pre-aggregated result
 }
 
-// bucket is one aggregation record: the reconstructed key entries and the
-// accumulator state per operator.
+// bucket is one aggregation record: the collision-free key encoding (which
+// doubles as the bucket-map key) and the accumulator state per operator.
+// The key groups it was built from are reconstructed by decoding key — the
+// encoding is injective, so nothing is lost by not storing them twice.
 type bucket struct {
-	// keyGroups holds, per scheme key position that was present, the
-	// position and its value path.
-	keyGroups []keyGroup
-	accs      []accum
+	key  string
+	accs []accum
 }
 
 type keyGroup struct {
@@ -218,6 +224,16 @@ func (db *DB) Update(rec snapshot.FlatRecord) {
 	}
 }
 
+// insertBucket registers a new bucket under its encoded key and logs the
+// insertion order.
+func (db *DB) insertBucket(b *bucket) {
+	telBuckets.Inc()
+	telKeyBytes.Add(uint64(len(b.key)))
+	db.buckets[b.key] = b
+	db.order = append(db.order, b)
+	db.flushOrder = nil
+}
+
 // bucketFor computes the collision-free key encoding from the scratch key
 // values and returns the bucket, creating it if needed.
 //
@@ -241,20 +257,42 @@ func (db *DB) bucketFor() *bucket {
 	if b, ok := db.buckets[string(db.keyBuf)]; ok {
 		return b
 	}
-	telBuckets.Inc()
-	telKeyBytes.Add(uint64(len(db.keyBuf)))
-	b := &bucket{accs: make([]accum, len(db.scheme.Ops))}
-	for pos, vals := range db.keyVals {
-		if len(vals) == 0 {
-			continue
-		}
-		b.keyGroups = append(b.keyGroups, keyGroup{
-			pos:    pos,
-			values: append([]attr.Variant(nil), vals...),
-		})
-	}
-	db.buckets[string(db.keyBuf)] = b
+	b := &bucket{key: string(db.keyBuf), accs: make([]accum, len(db.scheme.Ops))}
+	db.insertBucket(b)
 	return b
+}
+
+// decodeKeyGroups reconstructs the (key position, value path) groups from a
+// bucket's canonical key encoding — the inverse of bucketFor's encoder.
+func (db *DB) decodeKeyGroups(key string) ([]keyGroup, error) {
+	buf := []byte(key)
+	var groups []keyGroup
+	for pos := 0; pos < len(buf); {
+		kpos, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("core: decode key: bad position at offset %d", pos)
+		}
+		pos += n
+		cnt, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("core: decode key: bad value count at offset %d", pos)
+		}
+		pos += n
+		if kpos >= uint64(len(db.scheme.Key)) {
+			return nil, fmt.Errorf("core: decode key: position %d out of range", kpos)
+		}
+		vals := make([]attr.Variant, 0, cnt)
+		for i := uint64(0); i < cnt; i++ {
+			v, n, err := attr.DecodeVariant(buf[pos:])
+			if err != nil {
+				return nil, fmt.Errorf("core: decode key: %w", err)
+			}
+			pos += n
+			vals = append(vals, v)
+		}
+		groups = append(groups, keyGroup{pos: int(kpos), values: vals})
+	}
+	return groups, nil
 }
 
 // mergeBucket folds an external bucket (with portable key groups) into the
@@ -277,16 +315,8 @@ func (db *DB) mergeBucket(groups []keyGroup, accs []accum) error {
 	}
 	b, ok := db.buckets[string(db.keyBuf)]
 	if !ok {
-		telBuckets.Inc()
-		telKeyBytes.Add(uint64(len(db.keyBuf)))
-		b = &bucket{
-			keyGroups: make([]keyGroup, len(groups)),
-			accs:      make([]accum, len(db.scheme.Ops)),
-		}
-		for i, g := range groups {
-			b.keyGroups[i] = keyGroup{pos: g.pos, values: append([]attr.Variant(nil), g.values...)}
-		}
-		db.buckets[string(db.keyBuf)] = b
+		b = &bucket{key: string(db.keyBuf), accs: make([]accum, len(db.scheme.Ops))}
+		db.insertBucket(b)
 	}
 	for i := range accs {
 		b.accs[i].merge(&db.scheme.Ops[i], &accs[i])
@@ -296,21 +326,27 @@ func (db *DB) mergeBucket(groups []keyGroup, accs []accum) error {
 
 // Merge folds all aggregation records of other into db. Both databases
 // must use equal schemes. other is left unchanged.
+//
+// The source is walked in its insertion order (recorded once, when each
+// bucket was created), so a merge allocates nothing beyond the buckets it
+// creates: key encodings are canonical and scheme-relative, so the source's
+// key strings are reused directly for lookup and insertion.
 func (db *DB) Merge(other *DB) error {
 	telMerges.Inc()
+	if db == other {
+		return fmt.Errorf("core: merge: cannot merge a database into itself")
+	}
 	if !db.scheme.Equal(other.scheme) {
 		return fmt.Errorf("core: merge: schemes differ: %q vs %q", db.scheme, other.scheme)
 	}
-	// iterate deterministically for reproducible error behaviour
-	keys := make([]string, 0, len(other.buckets))
-	for k := range other.buckets {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		b := other.buckets[k]
-		if err := db.mergeBucket(b.keyGroups, b.accs); err != nil {
-			return err
+	for _, sb := range other.order {
+		b, ok := db.buckets[sb.key]
+		if !ok {
+			b = &bucket{key: sb.key, accs: make([]accum, len(db.scheme.Ops))}
+			db.insertBucket(b)
+		}
+		for i := range sb.accs {
+			b.accs[i].merge(&db.scheme.Ops[i], &sb.accs[i])
 		}
 	}
 	db.processed += other.processed
@@ -376,6 +412,21 @@ func (db *DB) resolveTargetType(op *OpSpec) attr.Type {
 	return attr.Float
 }
 
+// sortedBuckets returns the buckets ordered by key encoding — the
+// deterministic emission order of Flush and EncodeState. The order is
+// cached and only recomputed after new buckets were inserted, so repeated
+// flushes of a stable database skip the sort.
+func (db *DB) sortedBuckets() []*bucket {
+	if db.flushOrder == nil {
+		db.flushOrder = make([]*bucket, len(db.order))
+		copy(db.flushOrder, db.order)
+		sort.Slice(db.flushOrder, func(i, j int) bool {
+			return db.flushOrder[i].key < db.flushOrder[j].key
+		})
+	}
+	return db.flushOrder
+}
+
 // Flush reconstructs the key attributes of every aggregation record,
 // appends the reduction results, and emits one output record per unique
 // key through emit, ordered deterministically by key encoding. The
@@ -409,18 +460,21 @@ func (db *DB) Flush(emit func(snapshot.FlatRecord) error) error {
 		}
 	}
 
-	keys := make([]string, 0, len(db.buckets))
-	for k := range db.buckets {
-		keys = append(keys, k)
+	sorted := db.sortedBuckets()
+	groups := make([][]keyGroup, len(sorted))
+	for i, b := range sorted {
+		g, err := db.decodeKeyGroups(b.key)
+		if err != nil {
+			return fmt.Errorf("core: flush: %w", err)
+		}
+		groups[i] = g
 	}
-	sort.Strings(keys)
 
-	inclusive := db.inclusiveAdditions(keys, keyAttrs)
+	inclusive := db.inclusiveAdditions(sorted, groups, keyAttrs)
 
-	for _, k := range keys {
-		b := db.buckets[k]
-		rec := make(snapshot.FlatRecord, 0, len(b.keyGroups)+len(db.scheme.Ops))
-		for _, g := range b.keyGroups {
+	for bi, b := range sorted {
+		rec := make(snapshot.FlatRecord, 0, len(groups[bi])+len(db.scheme.Ops))
+		for _, g := range groups[bi] {
 			ka := keyAttrs[g.pos]
 			if !ka.IsValid() {
 				// the attribute must exist if values were observed; recover
@@ -443,7 +497,7 @@ func (db *DB) Flush(emit func(snapshot.FlatRecord) error) error {
 		}
 		for i := range db.scheme.Ops {
 			acc := &b.accs[i]
-			if add, ok := inclusive[k]; ok && db.scheme.Ops[i].Kind == OpInclusiveSum {
+			if add, ok := inclusive[b.key]; ok && db.scheme.Ops[i].Kind == OpInclusiveSum {
 				acc = &add[i]
 			}
 			if v, ok := acc.result(&db.scheme.Ops[i], resTypes[i]); ok {
@@ -464,8 +518,9 @@ func (db *DB) Flush(emit func(snapshot.FlatRecord) error) error {
 // (hierarchical) attributes, where A's path may be a proper prefix of
 // B's. This turns the exclusive per-path sums into inclusive region
 // totals, as in Caliper's inclusive metrics. Returns nil when the scheme
-// has no inclusive operators.
-func (db *DB) inclusiveAdditions(keys []string, keyAttrs []attr.Attribute) map[string][]accum {
+// has no inclusive operators. groups holds the decoded key groups of each
+// bucket in sorted, aligned by index.
+func (db *DB) inclusiveAdditions(sorted []*bucket, groups [][]keyGroup, keyAttrs []attr.Attribute) map[string][]accum {
 	hasInclusive := false
 	for i := range db.scheme.Ops {
 		if db.scheme.Ops[i].Kind == OpInclusiveSum {
@@ -473,7 +528,7 @@ func (db *DB) inclusiveAdditions(keys []string, keyAttrs []attr.Attribute) map[s
 			break
 		}
 	}
-	if !hasInclusive || len(db.buckets) == 0 {
+	if !hasInclusive || len(sorted) == 0 {
 		return nil
 	}
 	nested := make([]bool, len(db.scheme.Key))
@@ -481,9 +536,9 @@ func (db *DB) inclusiveAdditions(keys []string, keyAttrs []attr.Attribute) map[s
 		nested[i] = db.keyIsNested(i, keyAttrs)
 	}
 	// value paths per bucket per key position, nil when absent
-	paths := func(b *bucket) [][]attr.Variant {
+	paths := func(groups []keyGroup) [][]attr.Variant {
 		out := make([][]attr.Variant, len(db.scheme.Key))
-		for _, g := range b.keyGroups {
+		for _, g := range groups {
 			out[g.pos] = g.values
 		}
 		return out
@@ -518,26 +573,25 @@ func (db *DB) inclusiveAdditions(keys []string, keyAttrs []attr.Attribute) map[s
 		return proper
 	}
 
-	allPaths := make([][][]attr.Variant, len(keys))
-	for i, k := range keys {
-		allPaths[i] = paths(db.buckets[k])
+	allPaths := make([][][]attr.Variant, len(sorted))
+	for i := range sorted {
+		allPaths[i] = paths(groups[i])
 	}
-	out := make(map[string][]accum, len(keys))
-	for _, k := range keys {
+	out := make(map[string][]accum, len(sorted))
+	for _, b := range sorted {
 		eff := make([]accum, len(db.scheme.Ops))
-		copy(eff, db.buckets[k].accs)
-		out[k] = eff
+		copy(eff, b.accs)
+		out[b.key] = eff
 	}
-	for i, ka := range keys {
-		for j, kb := range keys {
+	for i, ba := range sorted {
+		for j, bb := range sorted {
 			if i == j || !ancestor(allPaths[i], allPaths[j]) {
 				continue
 			}
-			eff := out[ka]
-			src := db.buckets[kb]
+			eff := out[ba.key]
 			for oi := range db.scheme.Ops {
 				if db.scheme.Ops[oi].Kind == OpInclusiveSum {
-					eff[oi].merge(&db.scheme.Ops[oi], &src.accs[oi])
+					eff[oi].merge(&db.scheme.Ops[oi], &bb.accs[oi])
 				}
 			}
 		}
@@ -563,5 +617,7 @@ func (db *DB) FlushRecords() ([]snapshot.FlatRecord, error) {
 // are retained.
 func (db *DB) Clear() {
 	db.buckets = map[string]*bucket{}
+	db.order = nil
+	db.flushOrder = nil
 	db.processed = 0
 }

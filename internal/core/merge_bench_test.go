@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"caligo/internal/attr"
+	"caligo/internal/snapshot"
+)
+
+// buildMergeSource returns a DB with n distinct aggregation records over a
+// kernel/iteration key, mimicking a per-worker query shard.
+func buildMergeSource(tb testing.TB, reg *attr.Registry, scheme *Scheme, n int) *DB {
+	tb.Helper()
+	kernel := reg.MustCreate("kernel", attr.String, attr.Nested)
+	iter := reg.MustCreate("iteration", attr.Int, attr.AsValue)
+	dur := reg.MustCreate("time.duration", attr.Int, attr.AsValue)
+	db, err := NewDB(scheme, reg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		db.Update(snapshot.FlatRecord{
+			{Attr: kernel, Value: attr.StringV(fmt.Sprintf("kernel.%d", i%97))},
+			{Attr: iter, Value: attr.IntV(int64(i / 97))},
+			{Attr: dur, Value: attr.IntV(int64(10 + i))},
+		})
+	}
+	if db.Len() != n {
+		tb.Fatalf("source has %d buckets, want %d", db.Len(), n)
+	}
+	return db
+}
+
+func mergeScheme(tb testing.TB) *Scheme {
+	tb.Helper()
+	scheme, err := NewScheme([]string{"kernel", "iteration"}, []OpSpec{
+		{Kind: OpCount},
+		{Kind: OpSum, Target: "time.duration"},
+		{Kind: OpMin, Target: "time.duration"},
+		{Kind: OpMax, Target: "time.duration"},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return scheme
+}
+
+// BenchmarkMerge measures the steady-state cost of folding one shard into
+// an already-populated database — the dominant operation of the sharded
+// query executor's reduction phase. The insertion-order walk keeps this
+// free of the per-call key-snapshot allocation and sort the old
+// implementation paid.
+func BenchmarkMerge(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("buckets=%d", n), func(b *testing.B) {
+			scheme := mergeScheme(b)
+			src := buildMergeSource(b, attr.NewRegistry(), scheme, n)
+			dst, err := NewDB(scheme, attr.NewRegistry())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := dst.Merge(src); err != nil { // pre-populate the bucket set
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := dst.Merge(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMergeFirst measures a merge into an empty database, where every
+// source bucket is newly inserted (key strings are shared, not re-encoded).
+func BenchmarkMergeFirst(b *testing.B) {
+	scheme := mergeScheme(b)
+	src := buildMergeSource(b, attr.NewRegistry(), scheme, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err := NewDB(scheme, attr.NewRegistry())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dst.Merge(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestMergeSteadyStateAllocs proves the satellite win: merging a shard
+// into a database that already contains every key allocates nothing.
+func TestMergeSteadyStateAllocs(t *testing.T) {
+	scheme := mergeScheme(t)
+	src := buildMergeSource(t, attr.NewRegistry(), scheme, 256)
+	dst, err := NewDB(scheme, attr.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := dst.Merge(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Merge allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// TestMergeSelfRejected guards the insertion-log walk against aliasing.
+func TestMergeSelfRejected(t *testing.T) {
+	scheme := mergeScheme(t)
+	db := buildMergeSource(t, attr.NewRegistry(), scheme, 4)
+	if err := db.Merge(db); err == nil {
+		t.Fatal("self-merge should error")
+	}
+}
+
+// TestFlushOrderIndependentOfInsertion checks that flush output order is
+// determined by the key encoding, not by bucket insertion order — the
+// property the sharded executor's byte-identical guarantee rests on.
+func TestFlushOrderIndependentOfInsertion(t *testing.T) {
+	scheme := mergeScheme(t)
+	forward := buildMergeSource(t, attr.NewRegistry(), scheme, 64)
+
+	// build the same content in reverse insertion order
+	reg := attr.NewRegistry()
+	kernel := reg.MustCreate("kernel", attr.String, attr.Nested)
+	iter := reg.MustCreate("iteration", attr.Int, attr.AsValue)
+	dur := reg.MustCreate("time.duration", attr.Int, attr.AsValue)
+	reverse, err := NewDB(scheme, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 63; i >= 0; i-- {
+		reverse.Update(snapshot.FlatRecord{
+			{Attr: kernel, Value: attr.StringV(fmt.Sprintf("kernel.%d", i%97))},
+			{Attr: iter, Value: attr.IntV(int64(i / 97))},
+			{Attr: dur, Value: attr.IntV(int64(10 + i))},
+		})
+	}
+
+	a, err := forward.FlushRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reverse.FlushRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("record counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("row %d differs:\n forward %s\n reverse %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRepeatedFlushUsesCachedOrder checks that flushing twice (the DB
+// retains its contents) yields identical output, and that an insertion
+// between flushes invalidates the cached order correctly.
+func TestRepeatedFlushUsesCachedOrder(t *testing.T) {
+	scheme := mergeScheme(t)
+	reg := attr.NewRegistry()
+	db := buildMergeSource(t, reg, scheme, 32)
+	first, err := db.FlushRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := db.FlushRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("flush counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].String() != second[i].String() {
+			t.Errorf("row %d differs across flushes", i)
+		}
+	}
+
+	// insert a new bucket; the next flush must include it in sorted position
+	kernel, _ := reg.Find("kernel")
+	dur, _ := reg.Find("time.duration")
+	db.Update(snapshot.FlatRecord{
+		{Attr: kernel, Value: attr.StringV("aaa-new-kernel")},
+		{Attr: dur, Value: attr.IntV(1)},
+	})
+	third, err := db.FlushRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third) != len(first)+1 {
+		t.Fatalf("flush after insert has %d records, want %d", len(third), len(first)+1)
+	}
+	found := false
+	for _, r := range third {
+		if v, ok := r.GetByName("kernel"); ok && v.String() == "aaa-new-kernel" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new bucket missing from flush after cache invalidation")
+	}
+}

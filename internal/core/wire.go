@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 
 	"caligo/internal/attr"
 	"caligo/internal/trace"
@@ -50,16 +49,15 @@ func (db *DB) EncodeState() []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(db.buckets)))
 	buf = binary.AppendUvarint(buf, db.processed)
 
-	keys := make([]string, 0, len(db.buckets))
-	for k := range db.buckets {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-
-	for _, k := range keys {
-		b := db.buckets[k]
-		buf = binary.AppendUvarint(buf, uint64(len(b.keyGroups)))
-		for _, g := range b.keyGroups {
+	for _, b := range db.sortedBuckets() {
+		groups, err := db.decodeKeyGroups(b.key)
+		if err != nil {
+			// keys are produced by our own encoder; a decode failure means
+			// memory corruption, not a recoverable condition
+			panic(err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(groups)))
+		for _, g := range groups {
 			buf = binary.AppendUvarint(buf, uint64(g.pos))
 			buf = binary.AppendUvarint(buf, uint64(len(g.values)))
 			for _, v := range g.values {

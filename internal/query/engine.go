@@ -24,15 +24,82 @@ type Engine struct {
 	q   *calql.Query
 	reg *attr.Registry
 
-	db   *core.DB              // nil when the query does not aggregate
-	rows []snapshot.FlatRecord // collected rows for non-aggregating queries
-	lets []resolvedLet
+	db    *core.DB              // nil when the query does not aggregate
+	rows  []snapshot.FlatRecord // collected rows for non-aggregating queries
+	lets  []resolvedLet
+	conds []compiledCond
 }
 
 // resolvedLet caches the derived attribute handle for a LET definition.
 type resolvedLet struct {
 	def  calql.LetDef
 	attr attr.Attribute
+}
+
+// compiledCond is one WHERE condition precompiled at engine construction:
+// the numeric literal is parsed once (instead of per record per condition)
+// and the attribute handle is resolved once so per-record lookups compare
+// ids instead of labels. Resolution is lazy because input attributes are
+// typically registered only as records stream in.
+type compiledCond struct {
+	cond   calql.Condition
+	id     attr.ID      // resolved attribute id; InvalidID until first found
+	numLit attr.Variant // cond.Value parsed as Float, when it parses
+	numOK  bool
+}
+
+// eval evaluates the condition over a record with the same semantics as
+// EvalCondition (see there for the absent-attribute rules).
+func (cc *compiledCond) eval(rec snapshot.FlatRecord, reg *attr.Registry) bool {
+	if cc.id == attr.InvalidID {
+		if a, ok := reg.Find(cc.cond.Attr); ok {
+			cc.id = a.ID()
+		}
+	}
+	var v attr.Variant
+	var present bool
+	if cc.id != attr.InvalidID {
+		v, present = rec.Get(cc.id)
+	}
+	var result bool
+	switch cc.cond.Op {
+	case calql.CondExist:
+		result = present
+	default:
+		if !present {
+			// comparisons against an absent attribute are false (and
+			// not(...) of them true)
+			return cc.cond.Negate
+		}
+		var cmp int
+		numeric := false
+		if cc.numOK {
+			switch v.Kind() {
+			case attr.Int, attr.Uint, attr.Float, attr.Bool:
+				cmp = attr.Compare(attr.FloatV(v.AsFloat()), cc.numLit)
+				numeric = true
+			}
+		}
+		if !numeric {
+			cmp = attr.Compare(attr.StringV(v.String()), attr.StringV(cc.cond.Value))
+		}
+		switch cc.cond.Op {
+		case calql.CondEq:
+			result = cmp == 0
+		case calql.CondLt:
+			result = cmp < 0
+		case calql.CondLe:
+			result = cmp <= 0
+		case calql.CondGt:
+			result = cmp > 0
+		case calql.CondGe:
+			result = cmp >= 0
+		}
+	}
+	if cc.cond.Negate {
+		return !result
+	}
+	return result
 }
 
 // New prepares an engine for the query. The registry is shared with the
@@ -63,6 +130,17 @@ func New(q *calql.Query, reg *attr.Registry) (*Engine, error) {
 			return nil, fmt.Errorf("query: LET %s: %w", def.Name, err)
 		}
 		e.lets = append(e.lets, resolvedLet{def: def, attr: a})
+	}
+	e.conds = make([]compiledCond, len(q.Where))
+	for i, c := range q.Where {
+		cc := compiledCond{cond: c, id: attr.InvalidID}
+		if lv, err := attr.ParseAs(c.Value, attr.Float); err == nil {
+			cc.numLit, cc.numOK = lv, true
+		}
+		if a, ok := reg.Find(c.Attr); ok {
+			cc.id = a.ID()
+		}
+		e.conds[i] = cc
 	}
 	return e, nil
 }
@@ -136,10 +214,11 @@ func (e *Engine) applyLets(rec snapshot.FlatRecord) snapshot.FlatRecord {
 	return out
 }
 
-// matches evaluates all WHERE conditions (AND semantics).
+// matches evaluates all WHERE conditions (AND semantics) through the
+// precompiled forms.
 func (e *Engine) matches(rec snapshot.FlatRecord) bool {
-	for _, c := range e.q.Where {
-		if !EvalCondition(c, rec) {
+	for i := range e.conds {
+		if !e.conds[i].eval(rec, e.reg) {
 			return false
 		}
 	}
@@ -331,23 +410,45 @@ func ApplyPostOps(q *calql.Query, reg *attr.Registry, rows []snapshot.FlatRecord
 }
 
 // sortRows orders rows by the given keys. Missing values sort first.
+//
+// Decorate-sort-undecorate: sort key values are extracted once per row per
+// key (GetByName is a linear scan over the record), instead of twice per
+// comparison inside the sort loop.
 func sortRows(rows []snapshot.FlatRecord, keys []calql.OrderItem) {
-	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range keys {
-			vi, oki := rows[i].GetByName(k.Label)
-			vj, okj := rows[j].GetByName(k.Label)
+	if len(rows) < 2 || len(keys) == 0 {
+		return
+	}
+	type decorated struct {
+		row  snapshot.FlatRecord
+		vals []attr.Variant
+		oks  []bool
+	}
+	vals := make([]attr.Variant, len(rows)*len(keys))
+	oks := make([]bool, len(rows)*len(keys))
+	deco := make([]decorated, len(rows))
+	for i, row := range rows {
+		v := vals[i*len(keys) : (i+1)*len(keys)]
+		o := oks[i*len(keys) : (i+1)*len(keys)]
+		for ki, k := range keys {
+			v[ki], o[ki] = row.GetByName(k.Label)
+		}
+		deco[i] = decorated{row: row, vals: v, oks: o}
+	}
+	sort.SliceStable(deco, func(i, j int) bool {
+		a, b := &deco[i], &deco[j]
+		for ki := range keys {
 			var cmp int
 			switch {
-			case !oki && !okj:
+			case !a.oks[ki] && !b.oks[ki]:
 				cmp = 0
-			case !oki:
+			case !a.oks[ki]:
 				cmp = -1
-			case !okj:
+			case !b.oks[ki]:
 				cmp = 1
 			default:
-				cmp = attr.Compare(vi, vj)
+				cmp = attr.Compare(a.vals[ki], b.vals[ki])
 			}
-			if k.Descending {
+			if keys[ki].Descending {
 				cmp = -cmp
 			}
 			if cmp != 0 {
@@ -356,6 +457,9 @@ func sortRows(rows []snapshot.FlatRecord, keys []calql.OrderItem) {
 		}
 		return false
 	})
+	for i := range deco {
+		rows[i] = deco[i].row
+	}
 }
 
 // Finalize applies a query's post-aggregation operators and its ORDER BY

@@ -23,6 +23,9 @@ type PlanOptions struct {
 	Ranks int
 	// Fanin is the reduction-tree arity (parallel execution only).
 	Fanin int
+	// Jobs is the sharded-execution worker count; values > 1 select the
+	// in-process multi-core path (ignored when Ranks > 0).
+	Jobs int
 }
 
 // PlanStat is one measured quantity attributed to a plan node, summed
@@ -71,15 +74,21 @@ func BuildPlan(q *calql.Query, opts PlanOptions) (*Plan, error) {
 		Query:     inner.String(),
 		Execution: "serial",
 	}
+	sharded := opts.Ranks <= 0 && opts.Jobs > 1
 	if opts.Ranks > 0 {
 		fanin := opts.Fanin
 		if fanin < 2 {
 			fanin = 2
 		}
 		p.Execution = fmt.Sprintf("parallel (%d ranks, fan-in %d reduction tree)", opts.Ranks, fanin)
+	} else if sharded {
+		p.Execution = fmt.Sprintf("sharded (%d parallel workers, pairwise DB merge)", opts.Jobs)
 	}
 
 	switch {
+	case sharded:
+		p.add("shard", fmt.Sprintf("%d workers read+aggregate %d input files round-robin",
+			opts.Jobs, opts.Inputs))
 	case opts.Inputs == 1:
 		p.add("read", "1 input file")
 	case opts.Inputs > 1:
@@ -113,6 +122,9 @@ func BuildPlan(q *calql.Query, opts PlanOptions) (*Plan, error) {
 		p.add("aggregate", detail)
 	} else {
 		p.add("aggregate", "collect matching records (no aggregation)")
+	}
+	if sharded && inner.HasAggregation() {
+		p.add("merge", "fold shard databases pairwise into shard 0")
 	}
 	if opts.Ranks > 0 {
 		p.add("reduce", "merge per-rank partial results at rank 0")

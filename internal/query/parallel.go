@@ -1,0 +1,210 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"caligo/internal/attr"
+	"caligo/internal/calformat"
+	"caligo/internal/calql"
+	"caligo/internal/contexttree"
+	"caligo/internal/snapshot"
+	"caligo/internal/telemetry"
+	"caligo/internal/trace"
+)
+
+// Sharded multi-core execution of file queries: input files are fanned out
+// round-robin to worker goroutines, each worker owns a private read path
+// (context tree, calformat reader) and a private engine — and therefore a
+// private aggregation-database shard — and the shards are folded together
+// with the same DB.Merge the cross-process reduction uses (Section IV-C),
+// applied in-process up a pairwise tree. The attribute registry is shared
+// (it is mutex-protected), so attribute ids, LET definitions, and result
+// attributes resolve identically across shards.
+//
+// Output is byte-identical to serial execution: file→worker assignment and
+// the merge order are static functions of (len(files), jobs), aggregation
+// state merges exactly (integer sums stay integers), the flush order is
+// the sorted key encoding (insertion-order independent), and
+// non-aggregating rows are reassembled in file order.
+
+var (
+	telShards  = telemetry.NewCounter("caligo.query.shards")
+	telMergeNS = telemetry.NewCounter("caligo.query.merge.ns")
+)
+
+// DefaultJobs is the worker count used when jobs <= 0: one per available
+// CPU, the sweet spot for the read+aggregate workers (they are CPU-bound
+// on decoding).
+func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
+
+// shardState is one worker's private execution state.
+type shardState struct {
+	eng *Engine
+}
+
+// RunShardedFiles executes q over the files with up to jobs parallel
+// read+aggregate workers and returns the finalized result rows. jobs <= 0
+// selects DefaultJobs(); the effective worker count never exceeds the file
+// count. The registry is shared across workers and carries the result
+// attributes afterwards, exactly as with serial execution.
+func RunShardedFiles(q *calql.Query, reg *attr.Registry, files []string, jobs int) ([]snapshot.FlatRecord, error) {
+	if jobs <= 0 {
+		jobs = DefaultJobs()
+	}
+	if jobs > len(files) {
+		jobs = len(files)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	telShards.Add(uint64(jobs))
+
+	shards := make([]*shardState, jobs)
+	// per-file row collection for non-aggregating queries: workers write
+	// disjoint indices, and concatenating in index order restores the
+	// serial (file, record) order
+	rowsByFile := make([][]snapshot.FlatRecord, len(files))
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		shards[w] = &shardState{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = runShard(q, reg, files, jobs, w, shards[w], rowsByFile)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	root := shards[0].eng
+	if root.db != nil {
+		// pairwise tree reduction over the shard databases: at stride s,
+		// shard i+s folds into shard i. Merges within a level touch
+		// disjoint (dst, src) pairs and run concurrently; the merge order
+		// is a static function of the worker count, so grouping — and
+		// with it the output — is deterministic.
+		start := time.Now()
+		for stride := 1; stride < jobs; stride *= 2 {
+			var mw sync.WaitGroup
+			for i := 0; i+stride < jobs; i += 2 * stride {
+				mw.Add(1)
+				go func(dst, src int) {
+					defer mw.Done()
+					sp := trace.Begin("query.merge")
+					sp.ArgInt("dst", int64(dst))
+					sp.ArgInt("src", int64(src))
+					if err := shards[dst].eng.db.Merge(shards[src].eng.db); err != nil {
+						errs[dst] = fmt.Errorf("query: merge shard %d into %d: %w", src, dst, err)
+					}
+					sp.ArgInt("buckets", int64(shards[dst].eng.db.Len()))
+					sp.End()
+				}(i, i+stride)
+			}
+			mw.Wait()
+		}
+		telMergeNS.Add(uint64(time.Since(start).Nanoseconds()))
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// non-aggregating query: reassemble collected rows in file order
+		var rows []snapshot.FlatRecord
+		for _, rs := range rowsByFile {
+			rows = append(rows, rs...)
+		}
+		root.rows = rows
+	}
+	// the shared postprocess tail (post-ops, ORDER BY, LIMIT) runs once,
+	// over the fully merged shard 0
+	return root.Results()
+}
+
+// runShard is one worker: it builds a private engine and context tree,
+// reads its round-robin file subset (files w, w+jobs, ...), and feeds every
+// record through the engine.
+func runShard(q *calql.Query, reg *attr.Registry, files []string, jobs, w int,
+	st *shardState, rowsByFile [][]snapshot.FlatRecord) error {
+	sp := trace.Begin("query.shard")
+	sp.SetTid(w)
+	defer sp.End()
+
+	eng, err := New(q, reg)
+	if err != nil {
+		return err
+	}
+	st.eng = eng
+	tree := contexttree.New()
+	var nfiles, records int
+	var bytes int64
+	for i := w; i < len(files); i += jobs {
+		n, nb, err := readCaliFile(eng, files[i], reg, tree)
+		if err != nil {
+			return err
+		}
+		if eng.db == nil {
+			// steal the rows collected for this file so they can be
+			// reassembled in file order
+			rowsByFile[i] = eng.rows
+			eng.rows = nil
+		}
+		nfiles++
+		records += n
+		bytes += nb
+	}
+	sp.ArgInt("worker", int64(w))
+	sp.ArgInt("files", int64(nfiles))
+	sp.ArgInt("records", int64(records))
+	sp.ArgInt("bytes", bytes)
+	return nil
+}
+
+// readCaliFile streams one .cali file through the engine and reports the
+// record and byte counts.
+func readCaliFile(eng *Engine, fn string, reg *attr.Registry, tree *contexttree.Tree) (int, int64, error) {
+	f, err := os.Open(fn)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	cr := &shardCountingReader{r: f}
+	rd := calformat.NewReader(cr, reg, tree)
+	records := 0
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return records, cr.n, fmt.Errorf("%s: %w", fn, err)
+		}
+		if err := eng.Process(rec); err != nil {
+			return records, cr.n, err
+		}
+		records++
+	}
+	return records, cr.n, nil
+}
+
+// shardCountingReader counts consumed bytes for the shard span's bytes arg.
+type shardCountingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *shardCountingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
