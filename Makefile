@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench-smoke bench-json fuzz-seed check clean
+.PHONY: build vet test test-race bench-smoke bench-json bench-compare fuzz-seed check clean
 
 build:
 	$(GO) build ./...
@@ -26,10 +26,19 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkTraceOverhead' -benchmem ./internal/trace/ \
 		| $(GO) run ./cmd/benchjson > BENCH_trace.json
 	@cat BENCH_trace.json
+	@if [ -f BENCH_query.json ]; then cp BENCH_query.json BENCH_query.prev.json; fi
 	$(GO) test -run '^$$' -bench 'QueryFilesSharded|WhereCompiled|WhereEvalCondition|SortRows|BenchmarkMerge' \
 		-benchmem ./calql/ ./internal/query/ ./internal/core/ \
 		| $(GO) run ./cmd/benchjson > BENCH_query.json
 	@cat BENCH_query.json
+
+# Diff two BENCH JSON files (default: the snapshot bench-json took of the
+# previous BENCH_query.json against the fresh one) and fail on >15%
+# regression in ns/op or allocs/op.
+OLD ?= BENCH_query.prev.json
+NEW ?= BENCH_query.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
 # Run the fuzz targets over their seed corpora only (no fuzzing time);
 # regressions on checked-in seeds fail fast.

@@ -92,52 +92,57 @@ func QueryFiles(queryText string, files []string) (*Resultset, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Phase 1: read all inputs into memory (read span), then feed them
-	// through the engine (aggregate span) — the serial counterpart of the
-	// parallel path's per-rank phases, so EXPLAIN ANALYZE sees the same
-	// phase structure either way.
+	// Records stream straight from the decoder into the engine through one
+	// reused record (no whole-dataset buffering). The read and aggregate
+	// spans still both appear — aggregate nested inside read — so EXPLAIN
+	// ANALYZE sees the same phase structure as the parallel path.
 	rsp := trace.Begin("query.read")
-	var recs []snapshot.FlatRecord
+	asp := trace.Begin("query.aggregate")
+	var rec snapshot.FlatRecord
+	var nrecs int
 	var bytesRead int64
 	for _, fn := range files {
 		f, err := os.Open(fn)
 		if err != nil {
+			asp.End()
 			rsp.End()
 			return nil, err
 		}
 		cr := &countingReader{r: f}
 		rd := calformat.NewReader(cr, reg, tree)
 		for {
-			rec, err := rd.Next()
+			err := rd.NextInto(&rec)
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
+				asp.End()
 				rsp.End()
 				f.Close()
 				return nil, fmt.Errorf("%s: %w", fn, err)
 			}
-			recs = append(recs, rec)
+			if err := eng.Process(rec); err != nil {
+				asp.End()
+				rsp.End()
+				f.Close()
+				return nil, err
+			}
+			nrecs++
 		}
 		bytesRead += cr.n
 		if err := f.Close(); err != nil {
+			asp.End()
 			rsp.End()
 			return nil, err
 		}
 	}
-	rsp.ArgInt("files", int64(len(files)))
-	rsp.ArgInt("records", int64(len(recs)))
-	rsp.ArgInt("bytes", bytesRead)
-	rsp.End()
-
-	asp := trace.Begin("query.aggregate")
-	asp.ArgInt("records_in", int64(len(recs)))
-	if err := eng.ProcessAll(recs); err != nil {
-		asp.End()
-		return nil, err
-	}
+	asp.ArgInt("records_in", int64(nrecs))
 	asp.ArgInt("records_out", int64(eng.Size()))
 	asp.End()
+	rsp.ArgInt("files", int64(len(files)))
+	rsp.ArgInt("records", int64(nrecs))
+	rsp.ArgInt("bytes", bytesRead)
+	rsp.End()
 	rows, err := eng.Results()
 	if err != nil {
 		return nil, err

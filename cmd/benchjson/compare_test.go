@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", `{"benchmarks":[
+		{"name":"A","iterations":10,"ns_per_op":100,"allocs_per_op":50},
+		{"name":"B","iterations":10,"ns_per_op":200,"allocs_per_op":0},
+		{"name":"Gone","iterations":10,"ns_per_op":1,"allocs_per_op":1}]}`)
+
+	// improvement + within-threshold noise: no regression
+	newOK := writeReport(t, dir, "new_ok.json", `{"benchmarks":[
+		{"name":"A","iterations":10,"ns_per_op":20,"allocs_per_op":10},
+		{"name":"B","iterations":10,"ns_per_op":210,"allocs_per_op":0},
+		{"name":"Fresh","iterations":10,"ns_per_op":5,"allocs_per_op":2}]}`)
+	var sb strings.Builder
+	regressed, err := compareFiles(&sb, old, newOK, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("unexpected regression:\n%s", sb.String())
+	}
+	for _, want := range []string{"A", "B", "(new)", "Gone", "(removed)"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// ns/op regression beyond threshold
+	newSlow := writeReport(t, dir, "new_slow.json", `{"benchmarks":[
+		{"name":"A","iterations":10,"ns_per_op":130,"allocs_per_op":50}]}`)
+	regressed, err = compareFiles(&strings.Builder{}, old, newSlow, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("30% ns/op regression not detected")
+	}
+
+	// allocs appearing where there were none counts as a regression
+	newAllocs := writeReport(t, dir, "new_allocs.json", `{"benchmarks":[
+		{"name":"B","iterations":10,"ns_per_op":200,"allocs_per_op":3}]}`)
+	regressed, err = compareFiles(&strings.Builder{}, old, newAllocs, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("0 -> 3 allocs/op regression not detected")
+	}
+}

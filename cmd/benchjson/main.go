@@ -1,15 +1,23 @@
 // Command benchjson converts `go test -bench` text output on stdin into
 // a machine-readable JSON document on stdout, so benchmark results can be
-// committed and diffed over time (see `make bench-json`).
+// committed and diffed over time (see `make bench-json`), and compares two
+// such documents (see `make bench-compare`).
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./internal/trace/ | benchjson > BENCH_trace.json
+//	benchjson -compare [-threshold 0.15] old.json new.json
+//
+// In compare mode the benchmarks are matched by name, the ns/op and
+// allocs/op deltas are printed, and the exit status is non-zero when any
+// benchmark regressed by more than the threshold (default 15%) — so perf
+// claims in PRs are checkable instead of anecdotal.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -37,10 +45,102 @@ type Report struct {
 }
 
 func main() {
+	compareMode := flag.Bool("compare", false, "compare two BENCH JSON files instead of converting stdin")
+	threshold := flag.Float64("threshold", 0.15, "max allowed fractional regression in compare mode")
+	flag.Parse()
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// compareFiles diffs two BENCH JSON reports and reports whether any
+// benchmark present in both regressed by more than threshold on ns/op or
+// allocs/op. Benchmarks present in only one file are listed but never
+// count as regressions (benchmarks come and go across PRs).
+func compareFiles(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	fmt.Fprintf(w, "%-34s %14s %14s %8s   %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
+	regressed := false
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-34s %14s %14.1f %8s   %10s %10d %8s  (new)\n",
+				nb.Name, "-", nb.NsPerOp, "-", "-", nb.AllocsPerOp, "-")
+			continue
+		}
+		delete(oldBy, nb.Name)
+		nsDelta := frac(ob.NsPerOp, nb.NsPerOp)
+		allocDelta := frac(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp))
+		mark := ""
+		if nsDelta > threshold || allocDelta > threshold {
+			mark = "  REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-34s %14.1f %14.1f %+7.1f%%   %10d %10d %+7.1f%%%s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, nsDelta*100,
+			ob.AllocsPerOp, nb.AllocsPerOp, allocDelta*100, mark)
+	}
+	for name := range oldBy {
+		fmt.Fprintf(w, "%-34s  (removed)\n", name)
+	}
+	if regressed {
+		fmt.Fprintf(w, "FAIL: regression above %.0f%% threshold\n", threshold*100)
+	}
+	return regressed, nil
+}
+
+// frac returns the fractional change from old to new. A metric appearing
+// out of nowhere (old == 0, new > 0) counts as a full regression; 0 → 0
+// is no change.
+func frac(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (new - old) / old
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep := &Report{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }
 
 func run(in io.Reader, out io.Writer) error {

@@ -19,6 +19,7 @@ import (
 	"caligo/internal/attr"
 	"caligo/internal/calformat"
 	"caligo/internal/contexttree"
+	"caligo/internal/snapshot"
 	"caligo/internal/telemetry"
 	"caligo/internal/trace"
 )
@@ -151,8 +152,9 @@ func statFile(fn string) (*fileStats, error) {
 	tree := contexttree.New()
 	rd := calformat.NewReader(f, reg, tree)
 	st := &fileStats{name: fn, attrs: map[string]*attrStats{}}
+	var rec snapshot.FlatRecord // reused across NextInto calls
 	for {
-		rec, err := rd.Next()
+		err := rd.NextInto(&rec)
 		if err == io.EOF {
 			break
 		}

@@ -135,11 +135,36 @@ type Registry struct {
 	mu     sync.RWMutex
 	byName map[string]ID
 	attrs  []Attribute
+
+	// intern table: canonical string per distinct byte content, shared by
+	// all readers decoding into this registry (guarded separately so
+	// value interning never contends with attribute lookups).
+	internMu sync.Mutex
+	interned map[string]string
 }
 
 // NewRegistry returns an empty attribute registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]ID)}
+	return &Registry{byName: make(map[string]ID), interned: make(map[string]string)}
+}
+
+// Intern returns a canonical heap copy of b. Repeated calls with equal
+// content return the same string value, so decoders sharing a registry
+// (e.g. per-shard .cali readers) allocate each distinct attribute name or
+// string value once for the whole stream set. The map lookup itself does
+// not allocate.
+func (r *Registry) Intern(b []byte) string {
+	r.internMu.Lock()
+	s, ok := r.interned[string(b)]
+	if !ok {
+		if r.interned == nil {
+			r.interned = make(map[string]string)
+		}
+		s = string(b)
+		r.interned[s] = s
+	}
+	r.internMu.Unlock()
+	return s
 }
 
 // Create registers an attribute, returning the existing one when the label

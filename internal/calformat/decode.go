@@ -1,0 +1,519 @@
+package calformat
+
+// Byte-oriented .cali decoder. This is the production read path: it works
+// directly on the scanner's byte buffer with index-based field spans (no
+// per-line string copy, field slice, or maps), unescapes only into a
+// reused scratch buffer when an escape byte is actually present, and
+// interns attribute names and string values through a registry-backed
+// table so each distinct value is allocated once per stream set. Together
+// with NextInto (caller-owned record reuse) the steady-state decode loop
+// allocates nothing per record. Semantics are pinned to the legacy
+// decoder in legacy.go by FuzzDecodeDiff.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"unsafe"
+
+	"caligo/internal/attr"
+	"caligo/internal/contexttree"
+	"caligo/internal/snapshot"
+)
+
+// fieldSpan locates one key=value field as offsets into the current line
+// buffer. The esc flags record whether the raw bytes contain a backslash
+// escape and therefore need unescaping before use.
+type fieldSpan struct {
+	keyLo, keyHi int32
+	valLo, valHi int32
+	keyEsc       bool
+	valEsc       bool
+}
+
+// listElem locates one element of a ':'-separated list value, as offsets
+// into the raw (still escaped) value bytes.
+type listElem struct {
+	lo, hi int32
+	esc    bool
+}
+
+// bstr views b as a string without copying. The result aliases b's
+// backing array (the scanner buffer or the scratch buffer), both of which
+// are overwritten by the next record: callees must fully consume the
+// string (parse it, compare it) and never retain it. Errors built from
+// such strings are safe because every Reader error path flattens them
+// through errf (fmt.Sprintf) before they escape.
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// unescapeAppend appends the unescaped form of src to dst. Semantics
+// match unescape in legacy.go: \n and \r decode to newline and carriage
+// return, any other escaped byte decodes to itself, and a trailing lone
+// backslash is kept literal.
+func unescapeAppend(dst, src []byte) []byte {
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\\' && i+1 < len(src) {
+			i++
+			switch src[i] {
+			case 'n':
+				dst = append(dst, '\n')
+			case 'r':
+				dst = append(dst, '\r')
+			default:
+				dst = append(dst, src[i])
+			}
+			continue
+		}
+		dst = append(dst, src[i])
+	}
+	return dst
+}
+
+// Reader parses a .cali stream. Stream-local attribute ids and node ids
+// are remapped into the supplied registry and context tree, so multiple
+// files can be read into one shared registry/tree (the basis for
+// cross-process aggregation of per-process files).
+//
+// Reader is not safe for concurrent use.
+type Reader struct {
+	sc       *bufio.Scanner
+	reg      *attr.Registry
+	tree     *contexttree.Tree
+	attrMap  map[int64]attr.Attribute
+	nodeMap  map[int64]contexttree.NodeID
+	globals  []attr.Entry
+	line     int
+	consumed int // exact bytes of input consumed by the last scanned token
+
+	// Reused per-record decode state. None of it escapes a NextInto call
+	// except through explicit copies (interning, record entries).
+	fields     []fieldSpan
+	refElems   []listElem
+	attrElems  []listElem
+	dataElems  []listElem
+	scratch    []byte // unescaped value bytes (one value live at a time)
+	keyScratch []byte // unescaped key bytes for findField comparisons
+	interned   map[string]string
+	pathCache  map[contexttree.NodeID][]attr.Entry
+}
+
+// NewReader returns a Reader merging stream contents into reg and tree.
+func NewReader(rd io.Reader, reg *attr.Registry, tree *contexttree.Tree) *Reader {
+	r := &Reader{
+		reg:       reg,
+		tree:      tree,
+		attrMap:   map[int64]attr.Attribute{},
+		nodeMap:   map[int64]contexttree.NodeID{},
+		interned:  map[string]string{},
+		pathCache: map[contexttree.NodeID][]attr.Entry{},
+	}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	sc.Split(r.scanLine)
+	r.sc = sc
+	return r
+}
+
+// scanLine is a bufio.SplitFunc that, unlike bufio.ScanLines, records the
+// exact number of input bytes each token consumed (including the newline
+// and any carriage returns) so the bytes-read counter can be exact. It
+// does not strip '\r'; the decode loop trims all trailing carriage
+// returns itself.
+func (r *Reader) scanLine(data []byte, atEOF bool) (int, []byte, error) {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		r.consumed = i + 1
+		return i + 1, data[:i], nil
+	}
+	if atEOF && len(data) > 0 {
+		r.consumed = len(data)
+		return len(data), data, nil
+	}
+	return 0, nil, nil
+}
+
+// Globals returns the metadata entries read so far.
+func (r *Reader) Globals() []attr.Entry { return r.globals }
+
+func (r *Reader) errf(format string, args ...any) error {
+	telDecodeErrors.Inc()
+	return fmt.Errorf("calformat: line %d: %s", r.line, fmt.Sprintf(format, args...))
+}
+
+// intern returns a canonical heap copy of b. A per-reader map serves the
+// hot path without locking; misses fall through to the registry-shared
+// table so distinct values are allocated once across all readers on the
+// same registry.
+func (r *Reader) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := r.interned[string(b)]; ok { // alloc-free lookup
+		return s
+	}
+	s := r.reg.Intern(b)
+	r.interned[s] = s
+	telInterned.Inc()
+	return s
+}
+
+// unescaped returns the unescaped form of raw. When no escape byte is
+// present it returns raw itself; otherwise it decodes into the reused
+// scratch buffer. At most one unescaped value is live at a time: consume
+// the result before the next unescaped call.
+func (r *Reader) unescaped(raw []byte, esc bool) []byte {
+	if !esc {
+		return raw
+	}
+	r.scratch = unescapeAppend(r.scratch[:0], raw)
+	telScratchBytes.Add(uint64(len(r.scratch)))
+	return r.scratch
+}
+
+// parseValue parses value bytes as the given type. String values are
+// interned (Variant retains the string); other types parse from a
+// transient no-copy view.
+func (r *Reader) parseValue(b []byte, t attr.Type) (attr.Variant, error) {
+	if t == attr.String {
+		return attr.StringV(r.intern(b)), nil
+	}
+	return attr.ParseAs(bstr(b), t)
+}
+
+// pathOf returns the expanded root-first entry path of a context tree
+// node, cached per node: repeated refs to the same node (the common case
+// — every record names its full context) cost one map hit instead of a
+// fresh slice.
+func (r *Reader) pathOf(n contexttree.NodeID) ([]attr.Entry, error) {
+	if p, ok := r.pathCache[n]; ok {
+		return p, nil
+	}
+	p, err := r.tree.Path(n, r.reg)
+	if err != nil {
+		return nil, err
+	}
+	r.pathCache[n] = p
+	return p, nil
+}
+
+// scanFields splits line into key=value spans in r.fields. Escape
+// sequences are left in place (spans index the raw bytes); empty segments
+// are skipped; a non-empty segment with no '=' is an error, exactly like
+// splitFields in legacy.go.
+func (r *Reader) scanFields(line []byte) error {
+	r.fields = r.fields[:0]
+	f := fieldSpan{}
+	inKey := true
+	for i := 0; i < len(line); i++ {
+		switch c := line[i]; {
+		case c == '\\' && i+1 < len(line):
+			if inKey {
+				f.keyEsc = true
+			} else {
+				f.valEsc = true
+			}
+			i++
+		case c == ',':
+			if inKey {
+				if f.keyLo != int32(i) {
+					return fmt.Errorf("calformat: field %q has no '='", line[f.keyLo:i])
+				}
+			} else {
+				f.valHi = int32(i)
+				r.fields = append(r.fields, f)
+			}
+			f = fieldSpan{keyLo: int32(i + 1)}
+			inKey = true
+		case c == '=' && inKey:
+			f.keyHi = int32(i)
+			f.valLo = int32(i + 1)
+			inKey = false
+		}
+	}
+	if inKey {
+		if f.keyLo != int32(len(line)) {
+			return fmt.Errorf("calformat: field %q has no '='", line[f.keyLo:])
+		}
+	} else {
+		f.valHi = int32(len(line))
+		r.fields = append(r.fields, f)
+	}
+	return nil
+}
+
+// findField returns the raw (still escaped) value bytes of the named
+// field, scanning last to first so duplicate keys resolve like a map
+// built in line order (last one wins). Keys are compared unescaped.
+func (r *Reader) findField(line []byte, name string) (val []byte, esc, ok bool) {
+	for i := len(r.fields) - 1; i >= 0; i-- {
+		f := r.fields[i]
+		key := line[f.keyLo:f.keyHi]
+		if f.keyEsc {
+			r.keyScratch = unescapeAppend(r.keyScratch[:0], key)
+			key = r.keyScratch
+		}
+		if string(key) == name { // alloc-free comparison
+			return line[f.valLo:f.valHi], f.valEsc, true
+		}
+	}
+	return nil, false, false
+}
+
+// splitListSpans appends the spans of raw's ':'-separated elements to
+// dst. Offsets are relative to raw. Semantics match splitList in
+// legacy.go: empty input has no elements, a trailing separator yields a
+// trailing empty element, and escaped separators stay within an element.
+func splitListSpans(dst []listElem, raw []byte) []listElem {
+	if len(raw) == 0 {
+		return dst
+	}
+	e := listElem{}
+	for i := 0; i < len(raw); i++ {
+		switch {
+		case raw[i] == '\\' && i+1 < len(raw):
+			e.esc = true
+			i++
+		case raw[i] == ':':
+			e.hi = int32(i)
+			dst = append(dst, e)
+			e = listElem{lo: int32(i + 1)}
+		}
+	}
+	e.hi = int32(len(raw))
+	return append(dst, e)
+}
+
+// NextInto decodes the next snapshot record in the stream into *dst,
+// reusing dst's backing storage. The record is valid until the next
+// NextInto/Next call on this Reader; callers that retain it longer must
+// Clone it (see snapshot.FlatRecord.Clone). It returns io.EOF after the
+// last record.
+func (r *Reader) NextInto(dst *snapshot.FlatRecord) error {
+	*dst = (*dst)[:0]
+	for r.sc.Scan() {
+		r.line++
+		telBytesRead.Add(uint64(r.consumed))
+		line := r.sc.Bytes()
+		for len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) == 0 {
+			continue
+		}
+		if err := r.scanFields(line); err != nil {
+			return r.errf("%v", err)
+		}
+		// The record kind is matched on the raw value, like the legacy
+		// fm["__rec"] lookup: an escaped kind never matches and falls
+		// through to the unknown-kind skip.
+		kind, _, _ := r.findField(line, "__rec")
+		switch string(kind) {
+		case "attr":
+			if err := r.readAttrLine(line); err != nil {
+				return err
+			}
+		case "node":
+			if err := r.readNodeLine(line); err != nil {
+				return err
+			}
+		case "globals":
+			e, err := r.readEntryLine(line)
+			if err != nil {
+				return err
+			}
+			r.globals = append(r.globals, e)
+		case "ctx":
+			if err := r.readCtxLine(line, dst); err != nil {
+				return err
+			}
+			telRecsRead.Inc()
+			return nil
+		case "":
+			return r.errf("record without __rec field")
+		default:
+			// unknown record kinds are skipped for forward compatibility
+		}
+	}
+	if err := r.sc.Err(); err != nil {
+		return err
+	}
+	return io.EOF
+}
+
+// Next returns the next snapshot record in the stream, fully expanded
+// into freshly allocated storage. It returns io.EOF after the last
+// record. Hot paths should prefer NextInto.
+func (r *Reader) Next() (snapshot.FlatRecord, error) {
+	var rec snapshot.FlatRecord
+	if err := r.NextInto(&rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// ReadAll reads all remaining records.
+func (r *Reader) ReadAll() ([]snapshot.FlatRecord, error) {
+	var out []snapshot.FlatRecord
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func (r *Reader) readAttrLine(line []byte) error {
+	idRaw, _, _ := r.findField(line, "id")
+	id, err := strconv.ParseInt(bstr(idRaw), 10, 64)
+	if err != nil {
+		return r.errf("attr record: bad id %q", idRaw)
+	}
+	typRaw, typEsc, _ := r.findField(line, "type")
+	typ, ok := attr.ParseType(bstr(r.unescaped(typRaw, typEsc)))
+	if !ok {
+		return r.errf("attr record: unknown type %q", typRaw)
+	}
+	propRaw, propEsc, _ := r.findField(line, "prop")
+	props, err := attr.ParseProperties(bstr(r.unescaped(propRaw, propEsc)))
+	if err != nil {
+		return r.errf("attr record: %v", err)
+	}
+	nameRaw, nameEsc, _ := r.findField(line, "name")
+	name := r.unescaped(nameRaw, nameEsc)
+	if len(name) == 0 {
+		return r.errf("attr record: missing name")
+	}
+	a, err := r.reg.Create(r.intern(name), typ, props)
+	if err != nil {
+		return r.errf("attr record: %v", err)
+	}
+	r.attrMap[id] = a
+	return nil
+}
+
+func (r *Reader) readNodeLine(line []byte) error {
+	idRaw, _, _ := r.findField(line, "id")
+	id, err := strconv.ParseInt(bstr(idRaw), 10, 64)
+	if err != nil {
+		return r.errf("node record: bad id %q", idRaw)
+	}
+	aidRaw, _, _ := r.findField(line, "attr")
+	aid, err := strconv.ParseInt(bstr(aidRaw), 10, 64)
+	if err != nil {
+		return r.errf("node record: bad attr %q", aidRaw)
+	}
+	a, ok := r.attrMap[aid]
+	if !ok {
+		return r.errf("node record: undefined attribute %d", aid)
+	}
+	parent := contexttree.InvalidNode
+	if psRaw, _, _ := r.findField(line, "parent"); len(psRaw) > 0 {
+		pid, err := strconv.ParseInt(bstr(psRaw), 10, 64)
+		if err != nil {
+			return r.errf("node record: bad parent %q", psRaw)
+		}
+		parent, ok = r.nodeMap[pid]
+		if !ok {
+			return r.errf("node record: undefined parent node %d", pid)
+		}
+	}
+	dataRaw, dataEsc, _ := r.findField(line, "data")
+	v, err := r.parseValue(r.unescaped(dataRaw, dataEsc), a.Type())
+	if err != nil {
+		return r.errf("node record: %v", err)
+	}
+	r.nodeMap[id] = r.tree.GetChild(parent, a, v)
+	return nil
+}
+
+func (r *Reader) readEntryLine(line []byte) (attr.Entry, error) {
+	aidRaw, _, _ := r.findField(line, "attr")
+	aid, err := strconv.ParseInt(bstr(aidRaw), 10, 64)
+	if err != nil {
+		return attr.Entry{}, r.errf("bad attr id %q", aidRaw)
+	}
+	a, ok := r.attrMap[aid]
+	if !ok {
+		return attr.Entry{}, r.errf("undefined attribute %d", aid)
+	}
+	dataRaw, dataEsc, _ := r.findField(line, "data")
+	v, err := r.parseValue(r.unescaped(dataRaw, dataEsc), a.Type())
+	if err != nil {
+		return attr.Entry{}, r.errf("%v", err)
+	}
+	return attr.Entry{Attr: a, Value: v}, nil
+}
+
+func (r *Reader) readCtxLine(line []byte, dst *snapshot.FlatRecord) error {
+	refRaw, _, _ := r.findField(line, "ref")
+	r.refElems = splitListSpans(r.refElems[:0], refRaw)
+	for _, e := range r.refElems {
+		ref := r.unescaped(refRaw[e.lo:e.hi], e.esc)
+		nid, err := strconv.ParseInt(bstr(ref), 10, 64)
+		if err != nil {
+			return r.errf("ctx record: bad node ref %q", ref)
+		}
+		local, ok := r.nodeMap[nid]
+		if !ok {
+			return r.errf("ctx record: undefined node %d", nid)
+		}
+		path, err := r.pathOf(local)
+		if err != nil {
+			return r.errf("ctx record: %v", err)
+		}
+		*dst = append(*dst, path...)
+	}
+	attrRaw, _, hasAttr := r.findField(line, "attr")
+	dataRaw, _, hasData := r.findField(line, "data")
+	r.attrElems = splitListSpans(r.attrElems[:0], attrRaw)
+	r.dataElems = splitListSpans(r.dataElems[:0], dataRaw)
+	nData := len(r.dataElems)
+	// a present-but-empty data field is one empty value (the list split
+	// cannot distinguish "" from an absent field)
+	dataEmpty := hasData && nData == 0
+	if dataEmpty {
+		nData = 1
+	}
+	if hasAttr && len(r.attrElems) == 0 {
+		return r.errf("ctx record: empty attr id list")
+	}
+	if len(r.attrElems) != nData {
+		return r.errf("ctx record: %d attr ids but %d values", len(r.attrElems), nData)
+	}
+	for i := range r.attrElems {
+		ae := r.attrElems[i]
+		ab := r.unescaped(attrRaw[ae.lo:ae.hi], ae.esc)
+		aid, err := strconv.ParseInt(bstr(ab), 10, 64)
+		if err != nil {
+			return r.errf("ctx record: bad attr id %q", ab)
+		}
+		a, ok := r.attrMap[aid]
+		if !ok {
+			return r.errf("ctx record: undefined attribute %d", aid)
+		}
+		var db []byte
+		if !dataEmpty {
+			de := r.dataElems[i]
+			db = r.unescaped(dataRaw[de.lo:de.hi], de.esc)
+		}
+		v, err := r.parseValue(db, a.Type())
+		if err != nil {
+			return r.errf("ctx record: %v", err)
+		}
+		*dst = append(*dst, attr.Entry{Attr: a, Value: v})
+	}
+	if len(*dst) == 0 {
+		return r.errf("ctx record: empty record")
+	}
+	return nil
+}

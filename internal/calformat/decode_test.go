@@ -1,0 +1,170 @@
+package calformat
+
+// Tests for the byte-oriented decoder's perf-facing contracts: exact byte
+// accounting, record reuse, string interning, and the steady-state
+// allocation budget. Semantic equivalence with the legacy decoder is
+// covered by FuzzDecodeDiff in fuzz_test.go.
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"unsafe"
+
+	"caligo/internal/attr"
+	"caligo/internal/contexttree"
+	"caligo/internal/snapshot"
+	"caligo/internal/telemetry"
+	"caligo/internal/testutil"
+)
+
+// TestBytesReadExact: caligo.calformat.bytes.read must equal the exact
+// input size — including newlines, carriage returns, blank lines, and a
+// final line with no trailing newline. (The legacy reader over-counted a
+// newline on the last line and miscounted CRLF endings.)
+func TestBytesReadExact(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	inputs := []string{
+		"__rec=attr,id=0,name=a,type=int,prop=\n__rec=ctx,attr=0,data=5\n",
+		// no trailing newline on the final line
+		"__rec=attr,id=0,name=a,type=int,prop=\n__rec=ctx,attr=0,data=5",
+		// CRLF line endings
+		"__rec=attr,id=0,name=a,type=int,prop=\r\n__rec=ctx,attr=0,data=5\r\n",
+		// stacked carriage returns, blank lines, final '\r' at EOF
+		"__rec=attr,id=0,name=a,type=int,prop=\r\r\n\n\r\n__rec=ctx,attr=0,data=5\r",
+		"",
+		"\n\r\n\n",
+	}
+	for _, in := range inputs {
+		rd := NewReader(strings.NewReader(in), attr.NewRegistry(), contexttree.New())
+		before := telBytesRead.Value()
+		if _, err := rd.ReadAll(); err != nil {
+			t.Fatalf("input %q: %v", in, err)
+		}
+		if got := telBytesRead.Value() - before; got != uint64(len(in)) {
+			t.Errorf("input %q: bytes.read = %d, want %d", in, got, len(in))
+		}
+	}
+}
+
+// TestNextIntoReuse: a NextInto record is valid until the next call;
+// retaining it across calls requires Clone.
+func TestNextIntoReuse(t *testing.T) {
+	in := "__rec=attr,id=0,name=a,type=int,prop=\n" +
+		"__rec=ctx,attr=0,data=1\n" +
+		"__rec=ctx,attr=0,data=2\n"
+	rd := NewReader(strings.NewReader(in), attr.NewRegistry(), contexttree.New())
+	var rec snapshot.FlatRecord
+	if err := rd.NextInto(&rec); err != nil {
+		t.Fatal(err)
+	}
+	first := rec.Clone()
+	if err := rd.NextInto(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec[0].Value.AsInt(); got != 2 {
+		t.Fatalf("second record value = %d, want 2", got)
+	}
+	if got := first[0].Value.AsInt(); got != 1 {
+		t.Fatalf("cloned first record value = %d, want 1", got)
+	}
+	if err := rd.NextInto(&rec); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	if len(rec) != 0 {
+		t.Fatalf("record not reset on EOF: %v", rec)
+	}
+}
+
+// TestStringInterning: repeated string values share one backing array —
+// within a stream and across readers on the same registry.
+func TestStringInterning(t *testing.T) {
+	reg := attr.NewRegistry()
+	in := "__rec=attr,id=0,name=s,type=string,prop=asvalue\n" +
+		"__rec=ctx,attr=0,data=hello\n" +
+		"__rec=ctx,attr=0,data=hello\n"
+	var ptrs []*byte
+	for i := 0; i < 2; i++ {
+		rd := NewReader(strings.NewReader(in), reg, contexttree.New())
+		recs, err := rd.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			s := rec[0].Value.String()
+			if s != "hello" {
+				t.Fatalf("value = %q, want hello", s)
+			}
+			ptrs = append(ptrs, unsafe.StringData(s))
+		}
+	}
+	for i, p := range ptrs {
+		if p != ptrs[0] {
+			t.Fatalf("string value %d has a distinct backing array (not interned)", i)
+		}
+	}
+}
+
+// decodeAllocInput builds a stream with a definition prologue and nrec
+// identical-shape ctx records (nested string path + float metric), the
+// steady-state shape of a profiling dataset.
+func decodeAllocInput(nrec int) string {
+	var sb strings.Builder
+	sb.WriteString("__rec=attr,id=0,name=function,type=string,prop=nested\n")
+	sb.WriteString("__rec=attr,id=1,name=time.duration,type=double,prop=asvalue\n")
+	sb.WriteString("__rec=attr,id=2,name=label,type=string,prop=asvalue\n")
+	sb.WriteString("__rec=node,id=0,attr=0,data=main,parent=\n")
+	sb.WriteString("__rec=node,id=1,attr=0,data=work,parent=0\n")
+	for i := 0; i < nrec; i++ {
+		sb.WriteString("__rec=ctx,ref=1,attr=1:2,data=0.5:step\\=one\n")
+	}
+	return sb.String()
+}
+
+// TestNextIntoAllocBudget pins the steady-state decode loop to zero
+// allocations per record: spans, scratch, intern table, and path cache
+// are all warm after the first few records.
+func TestNextIntoAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets do not hold under -race instrumentation")
+	}
+	rd := NewReader(strings.NewReader(decodeAllocInput(600)), attr.NewRegistry(), contexttree.New())
+	var rec snapshot.FlatRecord
+	for i := 0; i < 100; i++ { // warm up caches and buffer capacities
+		if err := rd.NextInto(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(400, func() {
+		if err := rd.NextInto(&rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state NextInto = %.2f allocs/record, want 0", avg)
+	}
+}
+
+// TestNextAllocBudget pins the compatibility Next API, which must only
+// pay for the fresh record slice it hands out.
+func TestNextAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets do not hold under -race instrumentation")
+	}
+	rd := NewReader(strings.NewReader(decodeAllocInput(600)), attr.NewRegistry(), contexttree.New())
+	for i := 0; i < 100; i++ {
+		if _, err := rd.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(400, func() {
+		if _, err := rd.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// growing the 4-entry record costs a few slice doublings
+	if avg > 3 {
+		t.Fatalf("steady-state Next = %.2f allocs/record, want <= 3", avg)
+	}
+}

@@ -74,3 +74,74 @@ func FuzzWriterReaderRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeDiff: the byte-oriented decoder must be observationally
+// identical to the legacy string/map decoder (legacy.go) on arbitrary
+// input — same records, same globals, same error at the same point.
+func FuzzDecodeDiff(f *testing.F) {
+	seeds := []string{
+		// well-formed stream: attr + node + ctx
+		"__rec=attr,id=1,name=function,type=string,prop=nested\n" +
+			"__rec=node,id=0,attr=1,data=main,parent=\n" +
+			"__rec=node,id=1,attr=1,data=foo,parent=0\n" +
+			"__rec=ctx,ref=1\n",
+		// CRLF line endings
+		"__rec=attr,id=0,name=a,type=int,prop=\r\n__rec=ctx,attr=0,data=5\r\n",
+		// stacked carriage returns and no final newline
+		"__rec=attr,id=0,name=a,type=int,prop=\r\r\n__rec=ctx,attr=0,data=5\r",
+		// escaped separators in names, values, and list elements
+		"__rec=attr,id=0,name=x\\,y\\=z,type=string,prop=\n__rec=ctx,attr=0,data=a\\:b\\nc\n",
+		// empty values: present-but-empty data, empty prop, empty parent
+		"__rec=attr,id=0,name=s,type=string,prop=\n__rec=ctx,attr=0,data=\n",
+		// unknown record kinds are skipped
+		"__rec=mystery,x=1\n__rec=attr,id=0,name=a,type=int,prop=\n__rec=ctx,attr=0,data=7\n",
+		// escaped record kind never matches; escaped __rec key does
+		"__rec=ct\\x\n\\_\\_rec=attr,id=0,name=a,type=int,prop=\n",
+		// globals records
+		"__rec=attr,id=3,name=experiment,type=string,prop=global\n__rec=globals,attr=3,data=quartz\n",
+		// error cases: field without '=', missing __rec, bad ids,
+		// mismatched list lengths, empty record
+		"justakey\n",
+		"a=1\n",
+		"__rec=ctx,attr=1:2,data=a\n",
+		"__rec=ctx\n",
+		"__rec=node,id=x,attr=0,data=1,parent=\n",
+		// duplicate keys: last one wins
+		"__rec=attr,id=0,id=1,name=a,type=int,prop=\n__rec=ctx,attr=1,data=2\n",
+		// trailing list separator yields a trailing empty element
+		"__rec=attr,id=0,name=a,type=string,prop=\n__rec=ctx,attr=0:0,data=x:\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		rn := NewReader(strings.NewReader(input), attr.NewRegistry(), contexttree.New())
+		ro := newOracleReader(strings.NewReader(input), attr.NewRegistry(), contexttree.New())
+		for i := 0; ; i++ {
+			recN, errN := rn.Next()
+			recO, errO := ro.Next()
+			if (errN == nil) != (errO == nil) {
+				t.Fatalf("record %d: error divergence:\nnew:    %v\noracle: %v\ninput: %q", i, errN, errO, input)
+			}
+			if errN != nil {
+				if errN.Error() != errO.Error() {
+					t.Fatalf("record %d: error message divergence:\nnew:    %v\noracle: %v\ninput: %q", i, errN, errO, input)
+				}
+				break
+			}
+			if recN.String() != recO.String() {
+				t.Fatalf("record %d divergence:\nnew:    %s\noracle: %s\ninput: %q", i, recN, recO, input)
+			}
+		}
+		gN, gO := rn.Globals(), ro.Globals()
+		if len(gN) != len(gO) {
+			t.Fatalf("globals count: new %d, oracle %d, input %q", len(gN), len(gO), input)
+		}
+		for i := range gN {
+			if gN[i].Attr.Name() != gO[i].Attr.Name() || gN[i].Value != gO[i].Value {
+				t.Fatalf("globals[%d]: new %v=%v, oracle %v=%v", i,
+					gN[i].Attr.Name(), gN[i].Value, gO[i].Attr.Name(), gO[i].Value)
+			}
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package core
+
+// Allocation-budget guard for DB.Update: key classification, key encoding
+// (reused keyBuf), bucket lookup, and accumulator updates must all run
+// without per-record allocation once the buckets exist.
+
+import (
+	"testing"
+
+	"caligo/internal/snapshot"
+	"caligo/internal/testutil"
+)
+
+func TestUpdateAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets do not hold under -race instrumentation")
+	}
+	fx := newDBFixture(t)
+	scheme := MustScheme(
+		[]string{"function", "loop.iteration"},
+		[]OpSpec{{Kind: OpCount}, {Kind: OpSum, Target: "time.duration"}},
+	)
+	db, err := NewDB(scheme, fx.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]snapshot.FlatRecord, 0, 32)
+	for it := int64(0); it < 8; it++ {
+		recs = append(recs, fx.rec("foo", it, 10), fx.rec("bar", it, 3))
+	}
+	for _, r := range recs { // warm up: create every group bucket
+		db.Update(r)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		db.Update(recs[i%len(recs)])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Update = %.2f allocs/record, want 0", avg)
+	}
+}

@@ -130,48 +130,58 @@ func runRank(c *mpi.Comm, q *calql.Query, provider InputProvider, fanin int) (*R
 		return nil, err
 	}
 
-	// Phase 1: read process-local input into memory (read span), then feed
-	// it through the engine (aggregate span). The two sub-phases are
-	// separated so EXPLAIN ANALYZE can attribute I/O and compute time
-	// independently.
+	// Phase 1: stream process-local input through the engine with one
+	// reused record (no whole-dataset buffering). Both phase spans still
+	// appear — aggregate nested inside read — so EXPLAIN ANALYZE keeps the
+	// same per-rank phase structure.
 	localStart := time.Now()
-	var recs []snapshot.FlatRecord
+	var processed uint64
 	in, err := provider(c.Rank())
 	if err != nil {
 		return nil, fmt.Errorf("rank %d: open input: %w", c.Rank(), err)
 	}
 	if in != nil {
 		rsp := trace.BeginRank("pquery.read", c.Rank())
+		asp := trace.BeginRank("pquery.aggregate", c.Rank())
 		cr := &countingReader{r: in}
 		rd := calformat.NewReader(cr, reg, tree)
+		var rec snapshot.FlatRecord // reused across NextInto calls
 		for {
-			rec, err := rd.Next()
+			err := rd.NextInto(&rec)
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
+				asp.End()
 				rsp.End()
 				in.Close()
 				return nil, fmt.Errorf("rank %d: read input: %w", c.Rank(), err)
 			}
-			recs = append(recs, rec)
+			if err := eng.Process(rec); err != nil {
+				asp.End()
+				rsp.End()
+				in.Close()
+				return nil, err
+			}
+			processed++
 		}
-		rsp.ArgInt("records", int64(len(recs)))
+		asp.ArgInt("records_in", int64(processed))
+		asp.ArgInt("records_out", int64(eng.Size()))
+		asp.End()
+		rsp.ArgInt("records", int64(processed))
 		rsp.ArgInt("bytes", cr.n)
 		rsp.End()
 		if err := in.Close(); err != nil {
 			return nil, err
 		}
-	}
-	processed := uint64(len(recs))
-	asp := trace.BeginRank("pquery.aggregate", c.Rank())
-	asp.ArgInt("records_in", int64(len(recs)))
-	if err := eng.ProcessAll(recs); err != nil {
+	} else {
+		// No local input: still emit the aggregate phase so every rank
+		// reports the same span set.
+		asp := trace.BeginRank("pquery.aggregate", c.Rank())
+		asp.ArgInt("records_in", 0)
+		asp.ArgInt("records_out", int64(eng.Size()))
 		asp.End()
-		return nil, err
 	}
-	asp.ArgInt("records_out", int64(eng.Size()))
-	asp.End()
 	localWall := time.Since(localStart)
 	telRecords.Add(processed)
 	telLocalNS.Observe(localWall.Nanoseconds())

@@ -1,0 +1,59 @@
+package query
+
+// Allocation-budget guards for the per-record query hot path: with the
+// read loop reusing one record (calformat NextInto), the engine side must
+// not reintroduce per-record garbage.
+
+import (
+	"fmt"
+	"testing"
+
+	"caligo/internal/attr"
+	"caligo/internal/calql"
+	"caligo/internal/snapshot"
+	"caligo/internal/testutil"
+)
+
+func allocFixture(t *testing.T) (*attr.Registry, []snapshot.FlatRecord) {
+	t.Helper()
+	reg := attr.NewRegistry()
+	kernel := reg.MustCreate("kernel", attr.String, attr.Nested)
+	rank := reg.MustCreate("mpi.rank", attr.Int, 0)
+	dur := reg.MustCreate("time.duration", attr.Int, attr.AsValue|attr.Aggregatable)
+	recs := make([]snapshot.FlatRecord, 64)
+	for i := range recs {
+		recs[i] = snapshot.FlatRecord{
+			{Attr: kernel, Value: attr.StringV(fmt.Sprintf("kernel.%d", i%13))},
+			{Attr: rank, Value: attr.IntV(int64(i % 8))},
+			{Attr: dur, Value: attr.IntV(int64(50 + i))},
+		}
+	}
+	return reg, recs
+}
+
+// TestEngineProcessAllocBudget pins steady-state Engine.Process for an
+// aggregating query (compiled WHERE + DB update) to zero allocations per
+// record once all group buckets exist.
+func TestEngineProcessAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets do not hold under -race instrumentation")
+	}
+	reg, recs := allocFixture(t)
+	q := calql.MustParse("AGGREGATE count, sum(time.duration) WHERE mpi.rank < 6 GROUP BY kernel")
+	eng := MustNew(q, reg)
+	for _, r := range recs { // warm up: create every group bucket
+		if err := eng.Process(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		if err := eng.Process(recs[i%len(recs)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Process = %.2f allocs/record, want 0", avg)
+	}
+}

@@ -158,17 +158,21 @@ func MustNew(q *calql.Query, reg *attr.Registry) *Engine {
 // queries). The parallel query application uses it for tree reduction.
 func (e *Engine) DB() *core.DB { return e.db }
 
-// Process feeds one record through the query pipeline.
+// Process feeds one record through the query pipeline. The record is
+// borrowed: callers may reuse its storage after Process returns (the
+// calformat.Reader.NextInto read loops do), so anything the engine
+// retains past this call is cloned.
 func (e *Engine) Process(rec snapshot.FlatRecord) error {
 	rec = e.applyLets(rec)
 	if !e.matches(rec) {
 		return nil
 	}
 	if e.db != nil {
+		// DB.Update copies what it aggregates; nothing of rec survives.
 		e.db.Update(rec)
 		return nil
 	}
-	e.rows = append(e.rows, rec)
+	e.rows = append(e.rows, rec.Clone())
 	return nil
 }
 

@@ -181,8 +181,9 @@ func readCaliFile(eng *Engine, fn string, reg *attr.Registry, tree *contexttree.
 	cr := &shardCountingReader{r: f}
 	rd := calformat.NewReader(cr, reg, tree)
 	records := 0
+	var rec snapshot.FlatRecord // reused across NextInto calls
 	for {
-		rec, err := rd.Next()
+		err := rd.NextInto(&rec)
 		if err == io.EOF {
 			break
 		}

@@ -80,6 +80,18 @@ func (r Record) Get(tree *contexttree.Tree, a attr.Attribute) (attr.Variant, boo
 // outer values come first.
 type FlatRecord []attr.Entry
 
+// Clone returns an independent copy of the record. Required when
+// retaining a record obtained from a reusing producer (e.g.
+// calformat.Reader.NextInto) beyond the producer's next call.
+func (f FlatRecord) Clone() FlatRecord {
+	if f == nil {
+		return nil
+	}
+	out := make(FlatRecord, len(f))
+	copy(out, f)
+	return out
+}
+
 // Get returns the last (innermost/deepest) value for the attribute with
 // the given id.
 func (f FlatRecord) Get(id attr.ID) (attr.Variant, bool) {

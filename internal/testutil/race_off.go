@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package testutil holds small shared test helpers.
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race. Allocation
+// budget tests use it to skip themselves: the race runtime instruments
+// allocations, so testing.AllocsPerRun budgets only hold in normal builds.
+const RaceEnabled = false
