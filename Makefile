@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench-smoke bench-json bench-compare fuzz-seed check clean
+.PHONY: build vet test test-race bench-smoke bench-json bench-compare fuzz-seed smoke check clean
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ bench-smoke:
 # record the results as machine-readable JSON; the disabled path must
 # report 0 allocs/op.
 bench-json:
+	@if [ -f BENCH_trace.json ]; then cp BENCH_trace.json BENCH_trace.prev.json; fi
 	$(GO) test -run '^$$' -bench 'BenchmarkTraceOverhead' -benchmem ./internal/trace/ \
 		| $(GO) run ./cmd/benchjson > BENCH_trace.json
 	@cat BENCH_trace.json
@@ -32,20 +33,35 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > BENCH_query.json
 	@cat BENCH_query.json
 
-# Diff two BENCH JSON files (default: the snapshot bench-json took of the
-# previous BENCH_query.json against the fresh one) and fail on >15%
-# regression in ns/op or allocs/op.
+# Diff the BENCH JSON snapshots bench-json took against the fresh ones
+# and fail on >15% regression in ns/op or allocs/op. Gates both the query
+# benchmarks and the tracing/telemetry overhead benchmarks (one missing
+# trace snapshot pair — e.g. the first run after this gate was added — is
+# skipped rather than failed).
 OLD ?= BENCH_query.prev.json
 NEW ?= BENCH_query.json
+TRACE_OLD ?= BENCH_trace.prev.json
+TRACE_NEW ?= BENCH_trace.json
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
+	@if [ -f $(TRACE_OLD) ] && [ -f $(TRACE_NEW) ]; then \
+		$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW) $(TRACE_OLD) $(TRACE_NEW); \
+	else \
+		echo "bench-compare: no $(TRACE_OLD) pair yet, gating query benchmarks only"; \
+		$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW); \
+	fi
 
 # Run the fuzz targets over their seed corpora only (no fuzzing time);
 # regressions on checked-in seeds fail fast.
 fuzz-seed:
 	$(GO) test -run Fuzz ./internal/calql ./internal/calformat
 
-check: build vet test fuzz-seed
+# Ops-surface smoke test: start ServeDebug, run a sharded query, scrape
+# /debug/metrics, /debug/queries, and /debug/log over HTTP, and validate
+# the bodies with the same parsers cali-top uses.
+smoke:
+	$(GO) test -run TestEndpointSmoke -count=1 .
+
+check: build vet test fuzz-seed smoke
 
 clean:
 	$(GO) clean ./...

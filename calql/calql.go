@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"caligo/caliper"
 	"caligo/internal/attr"
@@ -17,6 +18,7 @@ import (
 	internalcalql "caligo/internal/calql"
 	"caligo/internal/contexttree"
 	"caligo/internal/mpi"
+	"caligo/internal/obs"
 	"caligo/internal/pquery"
 	"caligo/internal/query"
 	"caligo/internal/snapshot"
@@ -82,6 +84,18 @@ func (b *stringsBuilder) String() string { return string(b.buf) }
 // QueryFiles runs a query serially over the given .cali files, merging
 // them into one dataset first (the off-line analytical aggregation path).
 func QueryFiles(queryText string, files []string) (*Resultset, error) {
+	aq := obs.BeginQuery(queryText, "serial")
+	rs, err := queryFilesObs(queryText, files, aq)
+	if rs != nil {
+		aq.SetRows(len(rs.Rows))
+	}
+	aq.End(err)
+	return rs, err
+}
+
+// queryFilesObs is the serial execution body, accounting into aq (nil
+// disables attribution).
+func queryFilesObs(queryText string, files []string, aq *obs.ActiveQuery) (*Resultset, error) {
 	q, err := Parse(queryText)
 	if err != nil {
 		return nil, err
@@ -98,6 +112,14 @@ func QueryFiles(queryText string, files []string) (*Resultset, error) {
 	// ANALYZE sees the same phase structure as the parallel path.
 	rsp := trace.Begin("query.read")
 	asp := trace.Begin("query.aggregate")
+	if qid := aq.ID(); qid != 0 {
+		rsp.ArgInt("qid", int64(qid))
+		asp.ArgInt("qid", int64(qid))
+	}
+	var readStart time.Time
+	if aq != nil {
+		readStart = time.Now()
+	}
 	var rec snapshot.FlatRecord
 	var nrecs int
 	var bytesRead int64
@@ -143,7 +165,17 @@ func QueryFiles(queryText string, files []string) (*Resultset, error) {
 	rsp.ArgInt("records", int64(nrecs))
 	rsp.ArgInt("bytes", bytesRead)
 	rsp.End()
+	var postStart time.Time
+	if aq != nil {
+		aq.Phase("read+aggregate", time.Since(readStart))
+		aq.AddRecords(uint64(nrecs))
+		aq.AddBytes(uint64(bytesRead))
+		postStart = time.Now()
+	}
 	rows, err := eng.Results()
+	if aq != nil {
+		aq.Phase("postprocess", time.Since(postStart))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -158,15 +190,20 @@ func QueryFiles(queryText string, files []string) (*Resultset, error) {
 // byte-identical to QueryFiles. jobs <= 0 selects one worker per CPU;
 // jobs == 1 shares the code path but runs a single worker.
 func QueryFilesJobs(queryText string, files []string, jobs int) (*Resultset, error) {
+	aq := obs.BeginQuery(queryText, "sharded")
 	q, err := Parse(queryText)
 	if err != nil {
+		aq.End(err)
 		return nil, err
 	}
 	reg := attr.NewRegistry()
-	rows, err := query.RunShardedFiles(q, reg, files, jobs)
+	rows, err := query.RunShardedFilesObs(q, reg, files, jobs, aq)
 	if err != nil {
+		aq.End(err)
 		return nil, err
 	}
+	aq.SetRows(len(rows))
+	aq.End(nil)
 	return &Resultset{Rows: rows, Reg: reg, Query: q}, nil
 }
 
@@ -192,8 +229,10 @@ func QueryFilesParallel(queryText string, files []string, ranks int) (*ParallelR
 	if ranks <= 0 {
 		return nil, fmt.Errorf("calql: no input files")
 	}
+	aq := obs.BeginQuery(queryText, "mpi")
 	world, err := mpi.NewWorld(ranks)
 	if err != nil {
+		aq.End(err)
 		return nil, err
 	}
 	provider := func(rank int) (io.ReadCloser, error) {
@@ -216,10 +255,17 @@ func QueryFilesParallel(queryText string, files []string, ranks int) (*ParallelR
 		}
 		return &multiReadCloser{r: io.MultiReader(readers...), closers: closers}, nil
 	}
-	res, err := pquery.Run(world, queryText, provider)
+	res, err := pquery.RunObs(world, queryText, provider, 0, aq)
 	if err != nil {
+		aq.End(err)
 		return nil, err
 	}
+	aq.Phase("local", res.Timing.LocalWall)
+	if reduceWall := res.Timing.TotalWall - res.Timing.LocalWall; reduceWall > 0 {
+		aq.Phase("reduce", reduceWall)
+	}
+	aq.SetRows(len(res.Rows))
+	aq.End(nil)
 	return &ParallelResult{
 		Resultset:        &Resultset{Rows: res.Rows, Reg: res.Reg, Query: res.Query},
 		Timing:           res.Timing,

@@ -6,12 +6,15 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./internal/trace/ | benchjson > BENCH_trace.json
-//	benchjson -compare [-threshold 0.15] old.json new.json
+//	benchjson -compare [-threshold 0.15] old.json new.json [old2.json new2.json ...]
 //
 // In compare mode the benchmarks are matched by name, the ns/op and
 // allocs/op deltas are printed, and the exit status is non-zero when any
 // benchmark regressed by more than the threshold (default 15%) — so perf
-// claims in PRs are checkable instead of anecdotal.
+// claims in PRs are checkable instead of anecdotal. Multiple old/new
+// pairs gate together under one exit status (`make bench-compare` passes
+// both the query and the trace snapshots, so tracing/telemetry overhead
+// regressions fail as loudly as engine regressions).
 package main
 
 import (
@@ -49,16 +52,24 @@ func main() {
 	threshold := flag.Float64("threshold", 0.15, "max allowed fractional regression in compare mode")
 	flag.Parse()
 	if *compareMode {
-		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+		if flag.NArg() < 2 || flag.NArg()%2 != 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs old.json new.json pairs")
 			os.Exit(2)
 		}
-		regressed, err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(2)
+		anyRegressed := false
+		for i := 0; i < flag.NArg(); i += 2 {
+			oldPath, newPath := flag.Arg(i), flag.Arg(i+1)
+			if flag.NArg() > 2 {
+				fmt.Printf("== %s vs %s ==\n", oldPath, newPath)
+			}
+			regressed, err := compareFiles(os.Stdout, oldPath, newPath, *threshold)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(2)
+			}
+			anyRegressed = anyRegressed || regressed
 		}
-		if regressed {
+		if anyRegressed {
 			os.Exit(1)
 		}
 		return

@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"os"
 
+	"caligo/caliper"
 	"caligo/calql"
+	"caligo/internal/obs"
 	"caligo/internal/telemetry"
 	"caligo/internal/trace"
 )
@@ -40,6 +42,9 @@ func run(args []string) error {
 	showTiming := fs.Bool("timing", false, "print phase timing of the parallel query")
 	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run (to stderr)")
 	traceOut := fs.String("trace", "", "write spans of the run as Chrome trace-event JSON to this file (view in Perfetto)")
+	logFormat := fs.String("log", "", "structured logging to stderr: \"json\" or \"text\" (implies telemetry for query attribution)")
+	slowThreshold := fs.Duration("slow", 0, "slow-query log threshold, e.g. 500ms (0 keeps the 1s default; implies -log text if no -log)")
+	debugAddr := fs.String("debug", "", "serve /debug endpoints (metrics, queries, log, pprof) on this address for the run's duration")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: cali-query [flags] file.cali [file2.cali ...]\n\n")
 		fs.PrintDefaults()
@@ -66,6 +71,34 @@ func run(args []string) error {
 	}
 	if *traceOut != "" {
 		trace.Enable()
+	}
+	if *slowThreshold > 0 && *logFormat == "" {
+		*logFormat = "text"
+	}
+	if *logFormat != "" {
+		switch *logFormat {
+		case "json":
+			obs.SetLogOutput(os.Stderr, obs.LogJSON)
+		case "text":
+			obs.SetLogOutput(os.Stderr, obs.LogText)
+		default:
+			return fmt.Errorf("-log must be \"json\" or \"text\", got %q", *logFormat)
+		}
+		obs.EnableLogging()
+		// attribution (and with it the slow-query log) rides on telemetry
+		telemetry.Enable()
+	}
+	if *slowThreshold > 0 {
+		obs.SetSlowQueryThreshold(*slowThreshold)
+	}
+	if *debugAddr != "" {
+		telemetry.Enable()
+		srv, err := caliper.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/ (metrics, queries, log, pprof)\n", srv.Addr())
 	}
 	if err := runQuery(*queryText, files, *parallel, *jobs, *showTiming); err != nil {
 		return err

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"caligo/caliper"
+	"caligo/internal/obs"
+	"caligo/internal/telemetry"
+)
+
+// TestCaliTopOnce runs one monitor refresh (two scrapes) against a live
+// debug handler and checks the rendered view carries the engine stats.
+func TestCaliTopOnce(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	t.Cleanup(func() { telemetry.SetEnabled(prev) })
+	obs.SampleRuntimeOnce()
+
+	// a finished query so the table is non-empty
+	aq := obs.BeginQuery("AGGREGATE count GROUP BY kernel", "sharded")
+	aq.ShardDone(5*time.Millisecond, 1000, 50000)
+	aq.ShardDone(7*time.Millisecond, 1200, 60000)
+	aq.Phase("merge", time.Millisecond)
+	aq.SetRows(12)
+	aq.End(nil)
+
+	srv := httptest.NewServer(caliper.DebugHandler())
+	defer srv.Close()
+
+	// capture stdout across the run
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	runErr := run([]string{"-once", "-i", "50ms", srv.URL})
+	os.Stdout = orig
+	w.Close()
+	outBytes := make([]byte, 1<<16)
+	n, _ := r.Read(outBytes)
+	r.Close()
+	out := string(outBytes[:n])
+
+	if runErr != nil {
+		t.Fatalf("cali-top run: %v\noutput:\n%s", runErr, out)
+	}
+	for _, want := range []string{
+		"cali-top", "queries", "runtime", "sharded", "AGGREGATE count GROUP BY kernel",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCaliTopBadTarget(t *testing.T) {
+	if err := run([]string{"-once", "-i", "10ms", "127.0.0.1:1"}); err == nil {
+		t.Error("expected error for unreachable target")
+	}
+	if err := run([]string{}); err == nil {
+		t.Error("expected error for missing target")
+	}
+}

@@ -59,12 +59,13 @@ func run(args []string) error {
 		trace.Enable()
 	}
 	if *debugAddr != "" {
+		telemetry.Enable() // a scrape of all-zero metrics helps nobody
 		srv, err := caliper.ServeDebug(*debugAddr)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/telemetry\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/metrics\n", srv.Addr())
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -1,0 +1,207 @@
+// Package obs is the library's production ops surface: it turns the
+// self-instrumentation layers (internal/telemetry metrics, internal/trace
+// spans) into machine-consumable operational interfaces — an OpenMetrics/
+// Prometheus text exporter over the telemetry registry, a kill-switched
+// structured logging layer with a ring-buffered flight recorder,
+// per-query attribution with a slow-query log, and a background runtime
+// sampler. The paper's aggregation service is meant to live inside
+// long-running production jobs; this package is what lets a fleet of such
+// jobs be monitored like any other service (scrape /debug/metrics, tail
+// the structured log, ask "which query is slow and why" without
+// re-running it under EXPLAIN ANALYZE).
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"sync"
+
+	"caligo/internal/telemetry"
+)
+
+// ContentType is the OpenMetrics content type served by /debug/metrics.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Exporter renders a telemetry registry in the OpenMetrics text format
+// (a strict superset of the Prometheus text format: same sample syntax
+// plus a terminating "# EOF"). The exporter reuses its metric snapshot,
+// output buffer, and sanitized-name cache across scrapes, so steady-state
+// scrapes are allocation-free per metric — leaving it mounted on a
+// 1-second scrape interval costs no garbage. An Exporter is safe for
+// concurrent use; scrapes serialize on an internal mutex.
+type Exporter struct {
+	mu      sync.Mutex
+	reg     *telemetry.Registry
+	metrics []telemetry.Metric // reused snapshot storage
+	buckets []telemetry.Bucket // reused per-histogram bucket storage
+	buf     []byte             // reused render buffer
+	names   map[string]*names  // metric name → sanitized spellings
+}
+
+// names caches the sanitized spellings derived from one metric name, so
+// the per-sample fast path is a map hit instead of a rebuild.
+type names struct {
+	family string // sanitized base name, e.g. caligo_query_shards
+	total  string // family + "_total" (counter sample name)
+	bucket string // family + "_bucket{le=\"" (histogram bucket prefix)
+	sum    string // family + "_sum"
+	count  string // family + "_count"
+}
+
+// NewExporter returns an exporter over reg.
+func NewExporter(reg *telemetry.Registry) *Exporter {
+	return &Exporter{reg: reg, names: map[string]*names{}}
+}
+
+// defaultExporter serves the process-global registry (WriteMetrics and
+// the /debug/metrics endpoint).
+var defaultExporter = NewExporter(telemetry.Default())
+
+// WriteMetrics renders the default telemetry registry as OpenMetrics text.
+func WriteMetrics(w io.Writer) error { return defaultExporter.Write(w) }
+
+// Write renders one scrape: every registered metric, sorted by name, as
+// OpenMetrics text ending in "# EOF". Counters map to the counter type
+// (sample name gains the _total suffix), gauges to gauge, and the
+// log-linear telemetry histograms to native histograms with cumulative
+// le-labeled buckets plus _sum and _count — only populated bins emit a
+// bucket line, which keeps the exposition proportional to the data while
+// staying a valid cumulative series.
+func (e *Exporter) Write(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.metrics = e.reg.ExportInto(e.metrics)
+	b := e.buf[:0]
+	for i := range e.metrics {
+		m := &e.metrics[i]
+		n := e.nameset(m.Name)
+		switch m.Kind {
+		case telemetry.KindCounter:
+			b = append(b, "# TYPE "...)
+			b = append(b, n.family...)
+			b = append(b, " counter\n"...)
+			b = append(b, n.total...)
+			b = append(b, ' ')
+			b = strconv.AppendUint(b, m.Counter, 10)
+			b = append(b, '\n')
+		case telemetry.KindGauge:
+			b = append(b, "# TYPE "...)
+			b = append(b, n.family...)
+			b = append(b, " gauge\n"...)
+			b = append(b, n.family...)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, m.Gauge, 10)
+			b = append(b, '\n')
+		case telemetry.KindHistogram:
+			b = append(b, "# TYPE "...)
+			b = append(b, n.family...)
+			b = append(b, " histogram\n"...)
+			e.buckets = m.Hist.AppendBuckets(e.buckets[:0])
+			var cum uint64
+			for _, bk := range e.buckets {
+				cum += bk.Count
+				if math.IsInf(bk.Upper, 1) {
+					// the overflow bin folds into the mandatory +Inf
+					// bucket emitted below
+					continue
+				}
+				b = append(b, n.bucket...)
+				b = appendFloat(b, bk.Upper)
+				b = append(b, `"} `...)
+				b = strconv.AppendUint(b, cum, 10)
+				b = append(b, '\n')
+			}
+			// A snapshot taken while observers run can see a bin
+			// increment whose matching count increment hasn't landed
+			// yet; clamp so the +Inf bucket (== _count) never reads
+			// below the last cumulative bucket.
+			total := cum
+			if m.Hist.Count > total {
+				total = m.Hist.Count
+			}
+			b = append(b, n.bucket...)
+			b = append(b, `+Inf"} `...)
+			b = strconv.AppendUint(b, total, 10)
+			b = append(b, '\n')
+			b = append(b, n.sum...)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, m.Hist.Sum, 10)
+			b = append(b, '\n')
+			b = append(b, n.count...)
+			b = append(b, ' ')
+			b = strconv.AppendUint(b, total, 10)
+			b = append(b, '\n')
+		}
+	}
+	b = append(b, "# EOF\n"...)
+	e.buf = b
+	_, err := w.Write(b)
+	return err
+}
+
+// appendFloat renders a bucket bound. Go's 'g' shortest formatting is
+// stable and round-trippable; bounds are powers-of-two fractions so they
+// render exactly (e.g. 1.125, 96, 7.516192768e+09).
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// nameset returns (building and caching on first sight) the sanitized
+// spellings for a metric name.
+func (e *Exporter) nameset(name string) *names {
+	if n, ok := e.names[name]; ok {
+		return n
+	}
+	fam := SanitizeName(name)
+	n := &names{
+		family: fam,
+		total:  fam + "_total",
+		bucket: fam + `_bucket{le="`,
+		sum:    fam + "_sum",
+		count:  fam + "_count",
+	}
+	e.names[name] = n
+	return n
+}
+
+// SanitizeName maps a telemetry metric name onto the OpenMetrics name
+// charset [a-zA-Z0-9_:] (first character must not be a digit): dots —
+// the registry's namespace separator — and every other invalid byte
+// become underscores. The mapping is stable: equal inputs always yield
+// equal outputs, and ASCII case is preserved.
+func SanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	// fast path: already valid
+	valid := true
+	for i := 0; i < len(name); i++ {
+		if !validNameByte(name[i], i == 0) {
+			valid = false
+			break
+		}
+	}
+	if valid {
+		return name
+	}
+	b := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		if validNameByte(name[i], i == 0) {
+			b[i] = name[i]
+		} else {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func validNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

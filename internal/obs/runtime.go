@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"caligo/internal/telemetry"
+)
+
+// Background runtime sampler: feeds Go runtime health — heap size and
+// object count, GC activity and pause latencies, goroutine count — into
+// the telemetry registry as caligo.runtime.* gauges and a GC-pause
+// histogram, so one /debug/metrics scrape carries engine metrics and
+// process health side by side (the monitoring-oriented exposition the
+// Circllhist paper argues for: everything is a mergeable histogram or a
+// scalar on one scrape surface).
+
+var (
+	gHeapAlloc  = telemetry.NewGauge("caligo.runtime.heap.alloc.bytes")
+	gHeapSys    = telemetry.NewGauge("caligo.runtime.heap.sys.bytes")
+	gHeapObj    = telemetry.NewGauge("caligo.runtime.heap.objects")
+	gNextGC     = telemetry.NewGauge("caligo.runtime.gc.next.bytes")
+	gGCCount    = telemetry.NewGauge("caligo.runtime.gc.count")
+	gGoroutines = telemetry.NewGauge("caligo.runtime.goroutines")
+	hGCPause    = telemetry.NewHistogram("caligo.runtime.gc.pause.ns")
+)
+
+// DefaultSampleInterval is the runtime sampler's default period.
+const DefaultSampleInterval = time.Second
+
+// samplerRunning guards against stacked samplers: ServeDebug starts one
+// per server, host applications may start their own — only the first is
+// live, later starts return a no-op stop.
+var samplerRunning atomic.Bool
+
+// StartRuntimeSampler launches the background sampler at the given
+// interval (<= 0 selects DefaultSampleInterval) and returns a stop
+// function. Samples are only taken while telemetry is enabled — with the
+// kill switch off the goroutine just ticks. If a sampler is already
+// running, the returned stop is a no-op for it.
+func StartRuntimeSampler(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	if !samplerRunning.CompareAndSwap(false, true) {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		// prime the GC-pause cursor so a sampler started late doesn't
+		// replay the process's whole pause history in one burst
+		lastNumGC := sampleRuntime(0, false)
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if telemetry.Enabled() {
+					lastNumGC = sampleRuntime(lastNumGC, true)
+				}
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(done)
+			samplerRunning.Store(false)
+		})
+	}
+}
+
+// sampleRuntime takes one sample and returns the GC cycle count. With
+// observePauses it also feeds pauses of cycles newer than lastNumGC into
+// the pause histogram — each completed cycle's pause is observed exactly
+// once across the sampler's lifetime (PauseNs is a ring of the last 256
+// pauses indexed by cycle number).
+func sampleRuntime(lastNumGC uint32, observePauses bool) uint32 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gHeapAlloc.Set(int64(ms.HeapAlloc))
+	gHeapSys.Set(int64(ms.HeapSys))
+	gHeapObj.Set(int64(ms.HeapObjects))
+	gNextGC.Set(int64(ms.NextGC))
+	gGCCount.Set(int64(ms.NumGC))
+	gGoroutines.Set(int64(runtime.NumGoroutine()))
+	if observePauses {
+		newPauses := ms.NumGC - lastNumGC
+		if newPauses > uint32(len(ms.PauseNs)) {
+			newPauses = uint32(len(ms.PauseNs))
+		}
+		for i := uint32(0); i < newPauses; i++ {
+			cycle := ms.NumGC - i
+			hGCPause.Observe(int64(ms.PauseNs[(cycle+255)%256]))
+		}
+	}
+	return ms.NumGC
+}
+
+// SampleRuntimeOnce refreshes the runtime gauges immediately (tools that
+// want fresh values in a report without running the background sampler).
+// It never observes GC pauses — that is the sampler's job, which tracks
+// cycles so each pause counts exactly once.
+func SampleRuntimeOnce() {
+	if telemetry.Enabled() {
+		sampleRuntime(0, false)
+	}
+}

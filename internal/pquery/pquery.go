@@ -23,6 +23,7 @@ import (
 	"caligo/internal/contexttree"
 	"caligo/internal/core"
 	"caligo/internal/mpi"
+	"caligo/internal/obs"
 	"caligo/internal/query"
 	"caligo/internal/snapshot"
 	"caligo/internal/telemetry"
@@ -88,11 +89,23 @@ const (
 // Run executes the query across the world, assigning each rank the input
 // from provider, and returns the root's result.
 func Run(world *mpi.World, queryText string, provider InputProvider) (*Result, error) {
-	return RunFanin(world, queryText, provider, defaultFanin)
+	return RunObs(world, queryText, provider, defaultFanin, nil)
 }
 
 // RunFanin is Run with a configurable reduction-tree fan-in.
 func RunFanin(world *mpi.World, queryText string, provider InputProvider, fanin int) (*Result, error) {
+	return RunObs(world, queryText, provider, fanin, nil)
+}
+
+// RunObs is RunFanin with per-query attribution: every rank's record and
+// byte throughput is accounted into aq (nil disables attribution at zero
+// cost), and the query ID is stamped on the per-rank spans so traces
+// correlate with the slow-query log. fanin <= 0 selects the default
+// binary tree.
+func RunObs(world *mpi.World, queryText string, provider InputProvider, fanin int, aq *obs.ActiveQuery) (*Result, error) {
+	if fanin <= 0 {
+		fanin = defaultFanin
+	}
 	q, err := calql.Parse(queryText)
 	if err != nil {
 		return nil, err
@@ -100,7 +113,7 @@ func RunFanin(world *mpi.World, queryText string, provider InputProvider, fanin 
 	var result *Result
 	start := time.Now()
 	err = world.Run(func(c *mpi.Comm) error {
-		res, err := runRank(c, q, provider, fanin)
+		res, err := runRank(c, q, provider, fanin, aq)
 		if err != nil {
 			return err
 		}
@@ -120,7 +133,7 @@ func RunFanin(world *mpi.World, queryText string, provider InputProvider, fanin 
 }
 
 // runRank is the per-rank program: local aggregation, then tree reduce.
-func runRank(c *mpi.Comm, q *calql.Query, provider InputProvider, fanin int) (*Result, error) {
+func runRank(c *mpi.Comm, q *calql.Query, provider InputProvider, fanin int, aq *obs.ActiveQuery) (*Result, error) {
 	// Each rank has its own registry and context tree — per-process
 	// address spaces, as in the real tool.
 	reg := attr.NewRegistry()
@@ -140,9 +153,14 @@ func runRank(c *mpi.Comm, q *calql.Query, provider InputProvider, fanin int) (*R
 	if err != nil {
 		return nil, fmt.Errorf("rank %d: open input: %w", c.Rank(), err)
 	}
+	qid := aq.ID()
 	if in != nil {
 		rsp := trace.BeginRank("pquery.read", c.Rank())
 		asp := trace.BeginRank("pquery.aggregate", c.Rank())
+		if qid != 0 {
+			rsp.ArgInt("qid", int64(qid))
+			asp.ArgInt("qid", int64(qid))
+		}
 		cr := &countingReader{r: in}
 		rd := calformat.NewReader(cr, reg, tree)
 		var rec snapshot.FlatRecord // reused across NextInto calls
@@ -171,6 +189,8 @@ func runRank(c *mpi.Comm, q *calql.Query, provider InputProvider, fanin int) (*R
 		rsp.ArgInt("records", int64(processed))
 		rsp.ArgInt("bytes", cr.n)
 		rsp.End()
+		aq.AddRecords(processed)
+		aq.AddBytes(uint64(cr.n))
 		if err := in.Close(); err != nil {
 			return nil, err
 		}
@@ -191,9 +211,9 @@ func runRank(c *mpi.Comm, q *calql.Query, provider InputProvider, fanin int) (*R
 	localVirt := c.Clock()
 
 	if q.HasAggregation() {
-		return reduceAggregated(c, q, eng, fanin, localWall, localVirt, processed)
+		return reduceAggregated(c, q, eng, fanin, localWall, localVirt, processed, qid)
 	}
-	return gatherRows(c, q, eng, reg, localWall, localVirt, processed)
+	return gatherRows(c, q, eng, reg, localWall, localVirt, processed, qid)
 }
 
 // countingReader counts bytes consumed from the underlying reader, for
@@ -237,7 +257,7 @@ func decodePayload(b []byte) (countedPayload, error) {
 
 // reduceAggregated performs the tree reduction of aggregation databases.
 func reduceAggregated(c *mpi.Comm, q *calql.Query, eng *query.Engine, fanin int,
-	localWall time.Duration, localVirt float64, processed uint64) (*Result, error) {
+	localWall time.Duration, localVirt float64, processed, qid uint64) (*Result, error) {
 
 	scheme := eng.DB().Scheme()
 	payload := encodePayload(countedPayload{
@@ -280,6 +300,9 @@ func reduceAggregated(c *mpi.Comm, q *calql.Query, eng *query.Engine, fanin int,
 		reduceStart = time.Now()
 	}
 	sp := trace.BeginRank("pquery.reduce", c.Rank())
+	if qid != 0 {
+		sp.ArgInt("qid", int64(qid))
+	}
 	sp.ArgInt("bytes", int64(len(payload)))
 	final, err := c.ReduceFanin(0, payload, combine, fanin)
 	if err != nil {
@@ -333,7 +356,7 @@ func reduceAggregated(c *mpi.Comm, q *calql.Query, eng *query.Engine, fanin int,
 // gatherRows collects filtered rows at the root for non-aggregating
 // queries, encoded as .cali stream fragments.
 func gatherRows(c *mpi.Comm, q *calql.Query, eng *query.Engine, reg *attr.Registry,
-	localWall time.Duration, localVirt float64, processed uint64) (*Result, error) {
+	localWall time.Duration, localVirt float64, processed, qid uint64) (*Result, error) {
 
 	rows, err := eng.Results()
 	if err != nil {
@@ -351,6 +374,9 @@ func gatherRows(c *mpi.Comm, q *calql.Query, eng *query.Engine, reg *attr.Regist
 	}
 	blob := buf.Bytes()
 	sp := trace.BeginRank("pquery.reduce", c.Rank())
+	if qid != 0 {
+		sp.ArgInt("qid", int64(qid))
+	}
 	sp.ArgInt("bytes", int64(len(blob)))
 	gathered, err := c.Gather(0, encodePayload(countedPayload{state: blob, processed: processed}))
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"caligo/internal/calformat"
 	"caligo/internal/calql"
 	"caligo/internal/contexttree"
+	"caligo/internal/obs"
 	"caligo/internal/snapshot"
 	"caligo/internal/telemetry"
 	"caligo/internal/trace"
@@ -53,6 +54,14 @@ type shardState struct {
 // count. The registry is shared across workers and carries the result
 // attributes afterwards, exactly as with serial execution.
 func RunShardedFiles(q *calql.Query, reg *attr.Registry, files []string, jobs int) ([]snapshot.FlatRecord, error) {
+	return RunShardedFilesObs(q, reg, files, jobs, nil)
+}
+
+// RunShardedFilesObs is RunShardedFiles with per-query attribution: shard
+// wall times and throughput are accounted into aq (nil disables
+// attribution at zero cost), and the query ID is stamped on the shard and
+// merge spans so traces correlate with the slow-query log.
+func RunShardedFilesObs(q *calql.Query, reg *attr.Registry, files []string, jobs int, aq *obs.ActiveQuery) ([]snapshot.FlatRecord, error) {
 	if jobs <= 0 {
 		jobs = DefaultJobs()
 	}
@@ -76,7 +85,7 @@ func RunShardedFiles(q *calql.Query, reg *attr.Registry, files []string, jobs in
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = runShard(q, reg, files, jobs, w, shards[w], rowsByFile)
+			errs[w] = runShard(q, reg, files, jobs, w, shards[w], rowsByFile, aq)
 		}(w)
 	}
 	wg.Wait()
@@ -101,6 +110,9 @@ func RunShardedFiles(q *calql.Query, reg *attr.Registry, files []string, jobs in
 				go func(dst, src int) {
 					defer mw.Done()
 					sp := trace.Begin("query.merge")
+					if qid := aq.ID(); qid != 0 {
+						sp.ArgInt("qid", int64(qid))
+					}
 					sp.ArgInt("dst", int64(dst))
 					sp.ArgInt("src", int64(src))
 					if err := shards[dst].eng.db.Merge(shards[src].eng.db); err != nil {
@@ -112,7 +124,9 @@ func RunShardedFiles(q *calql.Query, reg *attr.Registry, files []string, jobs in
 			}
 			mw.Wait()
 		}
-		telMergeNS.Add(uint64(time.Since(start).Nanoseconds()))
+		mergeWall := time.Since(start)
+		telMergeNS.Add(uint64(mergeWall.Nanoseconds()))
+		aq.Phase("merge", mergeWall)
 		for _, err := range errs {
 			if err != nil {
 				return nil, err
@@ -128,17 +142,32 @@ func RunShardedFiles(q *calql.Query, reg *attr.Registry, files []string, jobs in
 	}
 	// the shared postprocess tail (post-ops, ORDER BY, LIMIT) runs once,
 	// over the fully merged shard 0
-	return root.Results()
+	var postStart time.Time
+	if aq != nil {
+		postStart = time.Now()
+	}
+	rows, err := root.Results()
+	if aq != nil {
+		aq.Phase("postprocess", time.Since(postStart))
+	}
+	return rows, err
 }
 
 // runShard is one worker: it builds a private engine and context tree,
 // reads its round-robin file subset (files w, w+jobs, ...), and feeds every
 // record through the engine.
 func runShard(q *calql.Query, reg *attr.Registry, files []string, jobs, w int,
-	st *shardState, rowsByFile [][]snapshot.FlatRecord) error {
+	st *shardState, rowsByFile [][]snapshot.FlatRecord, aq *obs.ActiveQuery) error {
 	sp := trace.Begin("query.shard")
 	sp.SetTid(w)
 	defer sp.End()
+	if qid := aq.ID(); qid != 0 {
+		sp.ArgInt("qid", int64(qid))
+	}
+	var shardStart time.Time
+	if aq != nil {
+		shardStart = time.Now()
+	}
 
 	eng, err := New(q, reg)
 	if err != nil {
@@ -167,6 +196,9 @@ func runShard(q *calql.Query, reg *attr.Registry, files []string, jobs, w int,
 	sp.ArgInt("files", int64(nfiles))
 	sp.ArgInt("records", int64(records))
 	sp.ArgInt("bytes", bytes)
+	if aq != nil {
+		aq.ShardDone(time.Since(shardStart), uint64(records), uint64(bytes))
+	}
 	return nil
 }
 

@@ -32,6 +32,13 @@ var (
 	telEpochs     = telemetry.NewCounter("caligo.rnet.epochs")
 	telEpochNS    = telemetry.NewHistogram("caligo.rnet.epoch.ns")
 	telDeltaBytes = telemetry.NewCounter("caligo.rnet.delta.bytes")
+	// Lag/backpressure gauges for live monitoring. The gauges are
+	// process-global while nodes are per-rank, so with many emulated
+	// ranks the last writer wins — they read as a representative sample
+	// of the network, not a per-rank breakdown (per-rank detail is in
+	// the rnet.sync spans).
+	gPendingRecords = telemetry.NewGauge("caligo.rnet.pending.records")
+	gSyncLagNS      = telemetry.NewGauge("caligo.rnet.sync.lag.ns")
 )
 
 // Node is one process's endpoint in the reduction network. All
@@ -50,8 +57,9 @@ type Node struct {
 	global *core.DB
 	reg    *attr.Registry
 
-	epochs uint64
-	pushed uint64
+	epochs   uint64
+	pushed   uint64
+	lastSync time.Time
 }
 
 // Option configures a Node.
@@ -98,6 +106,7 @@ func New(comm *mpi.Comm, scheme *core.Scheme, reg *attr.Registry, opts ...Option
 func (n *Node) Push(rec snapshot.FlatRecord) {
 	n.delta.Update(rec)
 	n.pushed++
+	gPendingRecords.Set(int64(n.delta.Len()))
 }
 
 // Pushed returns the number of records pushed locally.
@@ -115,11 +124,19 @@ func (n *Node) Sync() (*core.DB, error) {
 	var epochStart time.Time
 	if telemetry.Enabled() {
 		epochStart = time.Now()
+		// epoch lag: how long this node's delta has been accumulating
+		// since its previous sync — the "how stale is the root's view"
+		// signal for the live monitor
+		if !n.lastSync.IsZero() {
+			gSyncLagNS.Set(epochStart.Sub(n.lastSync).Nanoseconds())
+		}
+		n.lastSync = epochStart
 	}
 	sp := trace.BeginRank("rnet.sync", n.comm.Rank())
 	defer sp.End()
 	payload := n.delta.EncodeState()
 	n.delta.Clear()
+	gPendingRecords.Set(0)
 	telDeltaBytes.Add(uint64(len(payload)))
 	sp.ArgInt("epoch", int64(n.epochs))
 	sp.ArgInt("bytes", int64(len(payload)))

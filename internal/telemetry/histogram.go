@@ -185,6 +185,42 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// EachBucket calls fn once per populated bin in ascending value order,
+// with the bin's exclusive upper bound and its (non-cumulative) count.
+// The bottom (≤ 0) bin reports upper bound 0 and the overflow bin +Inf,
+// so accumulating the counts in call order yields a valid cumulative
+// bucket series for monitoring-style expositions (circllhist-to-Prometheus
+// mapping). The receiver is a pointer purely to avoid copying the bin
+// array per call; fn must not retain it.
+func (s *HistogramSnapshot) EachBucket(fn func(upper float64, count uint64)) {
+	for i := 0; i < numBins; i++ {
+		if n := s.Bins[i]; n != 0 {
+			fn(binUpper(i), n)
+		}
+	}
+}
+
+// Bucket is one populated histogram bin for export: the bin's exclusive
+// upper bound and its (non-cumulative) observation count.
+type Bucket struct {
+	Upper float64
+	Count uint64
+}
+
+// AppendBuckets appends one Bucket per populated bin in ascending value
+// order to dst (reusing its backing array) and returns the extended
+// slice. Like EachBucket it reports the bottom bin with upper bound 0 and
+// the overflow bin with +Inf. Scrapers that hold dst across scrapes read
+// bucket series allocation-free in steady state.
+func (s *HistogramSnapshot) AppendBuckets(dst []Bucket) []Bucket {
+	for i := 0; i < numBins; i++ {
+		if n := s.Bins[i]; n != 0 {
+			dst = append(dst, Bucket{Upper: binUpper(i), Count: n})
+		}
+	}
+	return dst
+}
+
 // Mean returns the arithmetic mean of recorded values (0 when empty).
 func (s HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {
@@ -193,38 +229,58 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
-// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bins: the
-// midpoint of the bin containing the rank-⌈q·count⌉ observation. Returns
-// 0 for empty histograms, 0 for observations in the bottom (≤ 0) bin, and
-// +Inf for the overflow bin.
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bins. The exact
+// edges are pinned to the bin bounds: q=0 returns the inclusive lower
+// bound of the first populated bin and q=1 the exclusive upper bound of
+// the last populated bin (matching Max), so a single-bucket histogram
+// reports its bin's [lower, upper) range rather than collapsing to the
+// midpoint at both ends. Interior quantiles interpolate linearly within
+// the bin containing the continuous rank q·count, so q sweeping a bin's
+// rank range sweeps its value range instead of jumping bin midpoints.
+// Returns 0 for empty histograms, 0 for observations in the bottom (≤ 0)
+// bin, and +Inf for the overflow bin.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
+	if q <= 0 {
+		for i := 0; i < numBins; i++ {
+			if s.Bins[i] != 0 {
+				return binEstimate(i, binLower(i))
+			}
+		}
+		return 0
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		return s.Max()
 	}
-	rank := uint64(math.Ceil(q * float64(s.Count)))
-	if rank == 0 {
-		rank = 1
-	}
+	rank := q * float64(s.Count) // continuous rank in (0, count)
 	var cum uint64
 	for i := 0; i < numBins; i++ {
+		if s.Bins[i] == 0 {
+			continue
+		}
+		prev := cum
 		cum += s.Bins[i]
-		if cum >= rank {
-			switch i {
-			case zeroBin:
-				return 0
-			case overflowBin:
-				return math.Inf(1)
-			}
-			return (binLower(i) + binUpper(i)) / 2
+		if float64(cum) >= rank {
+			frac := (rank - float64(prev)) / float64(s.Bins[i])
+			return binEstimate(i, binLower(i)+frac*(binUpper(i)-binLower(i)))
 		}
 	}
 	return math.Inf(1)
+}
+
+// binEstimate clamps a within-bin value estimate to the representable
+// conventions of the two special bins: the bottom bin always reports 0
+// (its lower bound is -Inf) and the overflow bin +Inf.
+func binEstimate(i int, v float64) float64 {
+	switch i {
+	case zeroBin:
+		return 0
+	case overflowBin:
+		return math.Inf(1)
+	}
+	return v
 }
 
 // Max returns the exclusive upper bound of the highest populated bin

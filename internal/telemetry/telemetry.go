@@ -34,7 +34,6 @@ package telemetry
 import (
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -254,9 +253,18 @@ type Metric struct {
 
 // Export returns a point-in-time copy of every registered metric, sorted
 // by name (counters and gauges before histograms on name ties).
-func (r *Registry) Export() []Metric {
+func (r *Registry) Export() []Metric { return r.ExportInto(nil) }
+
+// ExportInto is Export appending into dst (reusing its backing array), so
+// steady-state scrapers — the OpenMetrics exporter scraped every few
+// seconds — can read the registry without allocating once dst has grown
+// to the registered-metric count.
+func (r *Registry) ExportInto(dst []Metric) []Metric {
 	r.mu.RLock()
-	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	out := dst[:0]
+	if cap(out) == 0 {
+		out = make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	}
 	for _, c := range r.counters {
 		out = append(out, Metric{Name: c.name, Kind: KindCounter, Counter: c.Value()})
 	}
@@ -267,13 +275,28 @@ func (r *Registry) Export() []Metric {
 		out = append(out, Metric{Name: h.name, Kind: KindHistogram, Hist: h.Snapshot()})
 	}
 	r.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Name != out[j].Name {
-			return out[i].Name < out[j].Name
-		}
-		return out[i].Kind < out[j].Kind
-	})
+	sortMetrics(out)
 	return out
+}
+
+// sortMetrics orders metrics by (name, kind). Hand-written insertion sort
+// rather than sort.Slice: the registry holds tens of metrics, map
+// iteration order randomizes the input every export, and the reflection
+// and closure machinery of the sort package allocates — this keeps the
+// scrape path allocation-free for the OpenMetrics exporter.
+func sortMetrics(m []Metric) {
+	for i := 1; i < len(m); i++ {
+		for j := i; j > 0 && metricLess(&m[j], &m[j-1]); j-- {
+			m[j], m[j-1] = m[j-1], m[j]
+		}
+	}
+}
+
+func metricLess(a, b *Metric) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return a.Kind < b.Kind
 }
 
 // ExportMap renders the registry as a JSON-encodable map, for expvar.
