@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench-smoke bench-json bench-compare fuzz-seed smoke check clean
+.PHONY: build vet test test-race bench-smoke bench-json bench-compare fuzz-seed smoke prof-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -53,7 +53,13 @@ bench-compare:
 # Run the fuzz targets over their seed corpora only (no fuzzing time);
 # regressions on checked-in seeds fail fast.
 fuzz-seed:
-	$(GO) test -run Fuzz ./internal/calql ./internal/calformat
+	$(GO) test -run Fuzz ./internal/calql ./internal/calformat ./internal/prof
+
+# Self-profiling smoke test: capture a 1s CPU window of the test process,
+# convert it to .cali, and answer the flagship flame question with CalQL
+# over the file.
+prof-smoke:
+	$(GO) test -run TestProfSmoke -count=1 ./internal/prof
 
 # Ops-surface smoke test: start ServeDebug, run a sharded query, scrape
 # /debug/metrics, /debug/queries, and /debug/log over HTTP, and validate
@@ -61,7 +67,7 @@ fuzz-seed:
 smoke:
 	$(GO) test -run TestEndpointSmoke -count=1 .
 
-check: build vet test fuzz-seed smoke
+check: build vet test fuzz-seed smoke prof-smoke
 
 clean:
 	$(GO) clean ./...

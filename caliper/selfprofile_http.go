@@ -1,0 +1,138 @@
+package caliper
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"caligo/internal/prof"
+)
+
+// maxTriggerWindow caps on-demand CPU windows requested over HTTP so a
+// stray query parameter cannot pin the profiler for minutes.
+const maxTriggerWindow = 30 * time.Second
+
+// selfProfileHandler serves /debug/selfprofile (GET only, enforced by the
+// getOnly wrapper in DebugHandler):
+//
+//	/debug/selfprofile                  — latest retained .cali file
+//	/debug/selfprofile?kind=heap        — latest retained file of that kind
+//	/debug/selfprofile?trigger=cpu&window=1s — capture now, return the .cali
+//	/debug/selfprofile?trigger=heap     — point-in-time capture, return it
+//	/debug/selfprofile?status=1         — profiler status as JSON
+//
+// Triggered captures work with or without the continuous profiler: when
+// it runs, the capture also lands in its retention ring; otherwise the
+// profile is captured in memory and only returned.
+func selfProfileHandler(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("status") != "" {
+		writeSelfProfileStatus(w)
+		return
+	}
+	if kind := q.Get("trigger"); kind != "" {
+		triggerSelfProfile(w, kind, q.Get("window"))
+		return
+	}
+	serveLatestSelfProfile(w, q.Get("kind"))
+}
+
+func writeSelfProfileStatus(w http.ResponseWriter) {
+	type status struct {
+		Running   bool     `json:"running"`
+		Dir       string   `json:"dir,omitempty"`
+		Interval  string   `json:"interval,omitempty"`
+		CPUWindow string   `json:"cpu_window,omitempty"`
+		Kinds     []string `json:"kinds,omitempty"`
+		MaxFiles  int      `json:"max_files,omitempty"`
+		Files     []string `json:"files"`
+	}
+	st := status{Files: []string{}}
+	if p := selfProfiler(); p != nil {
+		opts := p.Options()
+		st.Running = true
+		st.Dir = opts.Dir
+		st.Interval = opts.Interval.String()
+		st.CPUWindow = opts.CPUWindow.String()
+		st.Kinds = opts.Kinds
+		st.MaxFiles = opts.MaxFiles
+		st.Files = p.Files()
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}
+
+func triggerSelfProfile(w http.ResponseWriter, kind, windowStr string) {
+	if !prof.KnownKind(kind) {
+		http.Error(w, fmt.Sprintf("unknown profile kind %q", kind), http.StatusBadRequest)
+		return
+	}
+	window := time.Second
+	if windowStr != "" {
+		d, err := time.ParseDuration(windowStr)
+		if err != nil || d <= 0 {
+			http.Error(w, fmt.Sprintf("bad window %q", windowStr), http.StatusBadRequest)
+			return
+		}
+		window = d
+	}
+	if window > maxTriggerWindow {
+		window = maxTriggerWindow
+	}
+	// with the ring running, capture through it so the file is retained
+	if p := selfProfiler(); p != nil {
+		var (
+			path string
+			err  error
+		)
+		if kind == "cpu" {
+			path, err = p.TriggerWindow(window)
+		} else {
+			path, err = p.TriggerPoint(kind)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		serveCaliFile(w, path)
+		return
+	}
+	cali, _, err := prof.CaptureCali(kind, window)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(cali)
+}
+
+func serveLatestSelfProfile(w http.ResponseWriter, kind string) {
+	p := selfProfiler()
+	if p == nil {
+		http.Error(w, "self-profiling not running (use ?trigger=cpu&window=1s for an on-demand capture)",
+			http.StatusNotFound)
+		return
+	}
+	path, ok := p.Latest(kind)
+	if !ok {
+		http.Error(w, "no profile captured yet", http.StatusNotFound)
+		return
+	}
+	serveCaliFile(w, path)
+}
+
+func serveCaliFile(w http.ResponseWriter, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Cali-File", filepath.Base(path))
+	w.Write(data)
+}

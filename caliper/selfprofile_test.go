@@ -1,0 +1,201 @@
+package caliper
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getSelfProfile(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestSelfProfileEndpointWithoutProfiler(t *testing.T) {
+	if SelfProfilingActive() {
+		t.Fatal("self-profiling unexpectedly active")
+	}
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+
+	t.Run("latest-404", func(t *testing.T) {
+		code, body, _ := getSelfProfile(t, srv, "/debug/selfprofile")
+		if code != http.StatusNotFound {
+			t.Fatalf("status %d, want 404", code)
+		}
+		if !strings.Contains(body, "not running") {
+			t.Errorf("unexpected body: %s", body)
+		}
+	})
+
+	t.Run("status", func(t *testing.T) {
+		code, body, hdr := getSelfProfile(t, srv, "/debug/selfprofile?status=1")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("content type %q", ct)
+		}
+		var st struct {
+			Running bool     `json:"running"`
+			Files   []string `json:"files"`
+		}
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("status body is not JSON: %v\n%s", err, body)
+		}
+		if st.Running {
+			t.Error("status reports running without a profiler")
+		}
+		if st.Files == nil {
+			t.Error("files should be [] not null")
+		}
+	})
+
+	t.Run("trigger-point-in-memory", func(t *testing.T) {
+		// no profiler running: trigger captures in memory and returns it
+		code, body, hdr := getSelfProfile(t, srv, "/debug/selfprofile?trigger=goroutine")
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("content type %q", ct)
+		}
+		if !strings.Contains(body, "__rec=ctx") {
+			t.Error("triggered capture returned no context records")
+		}
+		if !strings.Contains(body, "prof.function") {
+			t.Error("triggered capture missing prof.function attribute")
+		}
+	})
+
+	t.Run("trigger-bad-kind", func(t *testing.T) {
+		code, body, _ := getSelfProfile(t, srv, "/debug/selfprofile?trigger=nonsense")
+		if code != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400: %s", code, body)
+		}
+	})
+
+	t.Run("trigger-bad-window", func(t *testing.T) {
+		for _, w := range []string{"banana", "-1s", "0"} {
+			code, _, _ := getSelfProfile(t, srv, "/debug/selfprofile?trigger=goroutine&window="+w)
+			if code != http.StatusBadRequest {
+				t.Errorf("window=%q: status %d, want 400", w, code)
+			}
+		}
+	})
+}
+
+func TestSelfProfileEndpointWithProfiler(t *testing.T) {
+	if err := StartSelfProfiling(SelfProfilingOptions{
+		Dir:       t.TempDir(),
+		Interval:  time.Hour,
+		CPUWindow: -1,
+		Kinds:     []string{"goroutine"},
+		MaxFiles:  4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer StopSelfProfiling()
+	if err := StartSelfProfiling(SelfProfilingOptions{Dir: t.TempDir()}); err == nil {
+		t.Fatal("second StartSelfProfiling should fail")
+	}
+
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+
+	// trigger through the ring so the file is retained
+	code, body, hdr := getSelfProfile(t, srv, "/debug/selfprofile?trigger=goroutine")
+	if code != http.StatusOK {
+		t.Fatalf("trigger: status %d: %s", code, body)
+	}
+	if hdr.Get("X-Cali-File") == "" {
+		t.Error("triggered ring capture missing X-Cali-File header")
+	}
+	if !strings.Contains(body, "__rec=ctx") {
+		t.Error("triggered capture returned no context records")
+	}
+
+	// latest now serves the retained file
+	code, body, hdr = getSelfProfile(t, srv, "/debug/selfprofile?kind=goroutine")
+	if code != http.StatusOK {
+		t.Fatalf("latest: status %d: %s", code, body)
+	}
+	if !strings.Contains(hdr.Get("X-Cali-File"), "goroutine") {
+		t.Errorf("X-Cali-File = %q", hdr.Get("X-Cali-File"))
+	}
+	if !strings.Contains(body, "prof.function") {
+		t.Error("latest file missing prof.function attribute")
+	}
+
+	// status reflects the running profiler
+	code, body, _ = getSelfProfile(t, srv, "/debug/selfprofile?status=1")
+	if code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	var st struct {
+		Running  bool     `json:"running"`
+		Kinds    []string `json:"kinds"`
+		MaxFiles int      `json:"max_files"`
+		Files    []string `json:"files"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("status body: %v\n%s", err, body)
+	}
+	if !st.Running || st.MaxFiles != 4 || len(st.Files) == 0 {
+		t.Errorf("status = %+v", st)
+	}
+
+	// public accessors agree with the endpoint
+	if !SelfProfilingActive() {
+		t.Error("SelfProfilingActive() = false while running")
+	}
+	if files := SelfProfileFiles(); len(files) == 0 {
+		t.Error("SelfProfileFiles() empty")
+	}
+	if _, ok := LatestSelfProfile("goroutine"); !ok {
+		t.Error("LatestSelfProfile(goroutine) found nothing")
+	}
+	if _, err := TriggerSelfProfile("goroutine", 0); err != nil {
+		t.Errorf("TriggerSelfProfile: %v", err)
+	}
+}
+
+func TestCaptureSelfProfileInMemory(t *testing.T) {
+	cali, err := CaptureSelfProfile("goroutine", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(cali), "__rec=ctx") {
+		t.Error("in-memory capture has no context records")
+	}
+	if _, err := CaptureSelfProfile("nonsense", 0); err == nil {
+		t.Error("unknown kind: expected error")
+	}
+}
+
+func TestStopSelfProfilingIdempotent(t *testing.T) {
+	StopSelfProfiling() // not running: must be a no-op
+	if err := StartSelfProfiling(SelfProfilingOptions{
+		Dir: t.TempDir(), Interval: time.Hour, CPUWindow: -1, Kinds: []string{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	StopSelfProfiling()
+	StopSelfProfiling()
+	if SelfProfilingActive() {
+		t.Error("still active after Stop")
+	}
+}

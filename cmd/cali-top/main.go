@@ -8,6 +8,9 @@
 //
 // Rates are computed client-side from two consecutive scrapes (counter
 // deltas over the scrape interval), so the server needs no rate state.
+// With -once, cali-top performs exactly one scrape and prints cumulative
+// totals as a plain-text table — suitable for scripts and cron; the exit
+// status is non-zero when the endpoint is unreachable.
 //
 // Usage:
 //
@@ -37,7 +40,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("cali-top", flag.ContinueOnError)
 	interval := fs.Duration("i", 2*time.Second, "scrape interval")
 	count := fs.Int("n", 0, "exit after this many refreshes (0 = run until interrupted)")
-	once := fs.Bool("once", false, "print one snapshot (two scrapes for rates) and exit")
+	once := fs.Bool("once", false, "single scrape: print cumulative totals as a plain table and exit")
 	queries := fs.Int("queries", 10, "number of recent queries to show")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: cali-top [flags] host:port\n\n")
@@ -59,14 +62,18 @@ func run(args []string) error {
 	if !strings.Contains(target, "://") {
 		target = "http://" + target
 	}
-	if *once {
-		*count = 1
-	}
-
 	mon := &monitor{
 		base:    target,
 		client:  &http.Client{Timeout: 10 * time.Second},
 		queries: *queries,
+	}
+	if *once {
+		cur, err := mon.scrape()
+		if err != nil {
+			return err
+		}
+		mon.renderOnce(os.Stdout, cur)
+		return nil
 	}
 	prev, err := mon.scrape()
 	if err != nil {
@@ -78,11 +85,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if !*once {
-			// ANSI clear-screen + home; a plain scrolling dump on terminals
-			// that ignore escapes
-			fmt.Print("\x1b[2J\x1b[H")
-		}
+		// ANSI clear-screen + home; a plain scrolling dump on terminals
+		// that ignore escapes
+		fmt.Print("\x1b[2J\x1b[H")
 		mon.render(os.Stdout, prev, cur)
 		prev = cur
 	}
@@ -206,7 +211,50 @@ func (m *monitor) render(w *os.File, prev, cur *scrapeState) {
 			humanNS(value(cur, "caligo_rnet_sync_lag_ns")))
 	}
 	fmt.Fprintln(w)
+	m.renderQueryTable(w, cur)
+}
 
+// renderOnce prints cumulative totals from a single scrape as a plain
+// table — no rates (they need two scrapes), no screen clearing.
+func (m *monitor) renderOnce(w *os.File, cur *scrapeState) {
+	fmt.Fprintf(w, "cali-top — %s — %s (single scrape, totals)\n\n",
+		m.base, cur.at.Format("15:04:05"))
+
+	fmt.Fprintf(w, "queries  %10.0f     records %14.0f     bytes %10s     errors %8.0f     slow %8.0f\n",
+		value(cur, "caligo_query_queries"),
+		value(cur, "caligo_query_records"),
+		humanBytes(value(cur, "caligo_query_bytes")),
+		value(cur, "caligo_query_errors"),
+		value(cur, "caligo_query_slow"))
+	fmt.Fprintf(w, "active   %10.0f     finished %13.0f\n",
+		value(cur, "caligo_query_active"), float64(cur.queries.Total))
+	if p50, ok := histQuantile(cur, "caligo_query_ns", 0.50); ok {
+		p95, _ := histQuantile(cur, "caligo_query_ns", 0.95)
+		p99, _ := histQuantile(cur, "caligo_query_ns", 0.99)
+		fmt.Fprintf(w, "latency  p50 %10s   p95 %10s   p99 %10s\n",
+			humanNS(p50), humanNS(p95), humanNS(p99))
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "runtime  heap %10s   sys %10s   objects %10.0f   goroutines %5.0f   gc %6.0f\n",
+		humanBytes(value(cur, "caligo_runtime_heap_alloc_bytes")),
+		humanBytes(value(cur, "caligo_runtime_heap_sys_bytes")),
+		value(cur, "caligo_runtime_heap_objects"),
+		value(cur, "caligo_runtime_goroutines"),
+		value(cur, "caligo_runtime_gc_count"))
+	if pending := value(cur, "caligo_rnet_pending_records"); pending > 0 ||
+		value(cur, "caligo_rnet_epochs") > 0 {
+		fmt.Fprintf(w, "rnet     epochs %8.0f   pending %8.0f   sync lag %10s\n",
+			value(cur, "caligo_rnet_epochs"), pending,
+			humanNS(value(cur, "caligo_rnet_sync_lag_ns")))
+	}
+	fmt.Fprintln(w)
+	m.renderQueryTable(w, cur)
+}
+
+// renderQueryTable prints the recent-queries table and the phase
+// breakdown of the slowest one (shared by live and -once modes).
+func (m *monitor) renderQueryTable(w *os.File, cur *scrapeState) {
 	qs := cur.queries.Queries
 	if len(qs) == 0 {
 		fmt.Fprintln(w, "no queries recorded (telemetry off, or nothing has run)")

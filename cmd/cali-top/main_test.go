@@ -12,8 +12,9 @@ import (
 	"caligo/internal/telemetry"
 )
 
-// TestCaliTopOnce runs one monitor refresh (two scrapes) against a live
-// debug handler and checks the rendered view carries the engine stats.
+// TestCaliTopOnce runs a single-scrape -once pass against a live debug
+// handler and checks the plain-text totals table carries the engine
+// stats (no ANSI escapes, no second scrape).
 func TestCaliTopOnce(t *testing.T) {
 	prev := telemetry.SetEnabled(true)
 	t.Cleanup(func() { telemetry.SetEnabled(prev) })
@@ -37,7 +38,9 @@ func TestCaliTopOnce(t *testing.T) {
 	}
 	orig := os.Stdout
 	os.Stdout = w
-	runErr := run([]string{"-once", "-i", "50ms", srv.URL})
+	start := time.Now()
+	runErr := run([]string{"-once", "-i", "10s", srv.URL})
+	elapsed := time.Since(start)
 	os.Stdout = orig
 	w.Close()
 	outBytes := make([]byte, 1<<16)
@@ -50,10 +53,18 @@ func TestCaliTopOnce(t *testing.T) {
 	}
 	for _, want := range []string{
 		"cali-top", "queries", "runtime", "sharded", "AGGREGATE count GROUP BY kernel",
+		"single scrape",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+	// one scrape only: -once must not sleep the (deliberately huge) interval
+	if elapsed > 5*time.Second {
+		t.Errorf("-once slept the scrape interval (%v)", elapsed)
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Errorf("-once output contains ANSI escapes:\n%q", out)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"caligo/internal/attr"
 	"caligo/internal/contexttree"
+	"caligo/internal/snapshot"
 )
 
 // FuzzReader: the stream reader must never panic on arbitrary input —
@@ -71,6 +72,72 @@ func FuzzWriterReaderRoundTrip(f *testing.F) {
 		got, ok := recs[0].GetByName(name)
 		if !ok || got.String() != value {
 			t.Fatalf("value round trip: got %q, want %q", got.String(), value)
+		}
+	})
+}
+
+// FuzzNestedPathRoundTrip: a calling-context path written through the
+// node table must read back component-for-component, whatever the frame
+// names contain. Seeds cover the shapes real Go symbol names take —
+// generics brackets, method parentheses, pointer receivers — plus the
+// separator and control characters the escaper must neutralize.
+func FuzzNestedPathRoundTrip(f *testing.F) {
+	f.Add("main.main", "runtime.gcBgMarkWorker", "runtime.systemstack")
+	f.Add("sort.Slice[go.shape.int]", "(*bytes.Buffer).Write", "main.(*T).Method[...]")
+	f.Add("pkg.func(a, b)", "weird*name", "slice[...]trailer")
+	f.Add("unicode.λ", "функция", "関数名")
+	f.Add("tab\there", "newline\nin\nname", "cr\rname")
+	f.Add("comma,name", "equals=name", "colon:name")
+	f.Add("back\\slash", "\\", "\\n")
+	f.Add("", "", "")
+	f.Add(" leading", "trailing ", "  ")
+	f.Fuzz(func(t *testing.T, f1, f2, f3 string) {
+		frames := []string{f1, f2, f3}
+		reg := attr.NewRegistry()
+		tree := contexttree.New()
+		fn := reg.MustCreate("prof.function", attr.String, attr.Nested)
+		metric := reg.MustCreate("cpu.samples", attr.Int, attr.AsValue|attr.Aggregatable)
+		entries := make([]attr.Entry, len(frames))
+		for i, fr := range frames {
+			entries[i] = attr.Entry{Attr: fn, Value: attr.StringV(fr)}
+		}
+		var b snapshot.Builder
+		b.AddNode(tree.GetPath(contexttree.InvalidNode, entries))
+		b.AddImmediate(metric, attr.IntV(7))
+
+		var sb strings.Builder
+		w := NewWriter(&sb, reg, tree)
+		if err := w.WriteRecord(b.Record()); err != nil {
+			t.Fatalf("WriteRecord: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		reg2 := attr.NewRegistry()
+		rd := NewReader(strings.NewReader(sb.String()), reg2, contexttree.New())
+		recs, err := rd.ReadAll()
+		if err != nil {
+			t.Fatalf("read back: %v\nstream: %q", err, sb.String())
+		}
+		if len(recs) != 1 {
+			t.Fatalf("records = %d", len(recs))
+		}
+		fn2, ok := reg2.Find("prof.function")
+		if !ok {
+			t.Fatal("prof.function not declared in stream")
+		}
+		got := recs[0].ValuesOf(fn2.ID())
+		if len(got) != len(frames) {
+			t.Fatalf("path length: got %d, want %d\nstream: %q", len(got), len(frames), sb.String())
+		}
+		for i, v := range got {
+			if v.String() != frames[i] {
+				t.Fatalf("frame %d: got %q, want %q\nstream: %q", i, v.String(), frames[i], sb.String())
+			}
+		}
+		if v, ok := recs[0].GetByName("cpu.samples"); !ok || v.AsInt() != 7 {
+			t.Fatalf("metric lost in round trip: %v %v", v, ok)
 		}
 	})
 }

@@ -1,0 +1,237 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"caligo/internal/attr"
+	"caligo/internal/calformat"
+	"caligo/internal/contexttree"
+	"caligo/internal/snapshot"
+	"caligo/internal/telemetry"
+)
+
+// Self-instrumentation (see docs/OBSERVABILITY.md).
+var (
+	telSamples   = telemetry.NewCounter("caligo.prof.samples")
+	telRecords   = telemetry.NewCounter("caligo.prof.records")
+	telConvertNS = telemetry.NewHistogram("caligo.prof.convert.ns")
+)
+
+// Attribute labels of the converted records. prof.function is a nested
+// (stack-semantics) attribute, so a sample's calling context becomes a
+// context-tree path exactly like an annotation stack; file and line of
+// the leaf frame ride along as immediate entries.
+const (
+	AttrFunction = "prof.function"
+	AttrFile     = "prof.file"
+	AttrLine     = "prof.line"
+)
+
+// metricNames maps pprof (type, unit) sample-type pairs to caligo metric
+// attribute labels. Anything not listed falls back to a generated
+// "prof.<type>" name with a unit suffix.
+var metricNames = map[[2]string]string{
+	{"samples", "count"}:       "cpu.samples",
+	{"cpu", "nanoseconds"}:     "cpu.ns",
+	{"inuse_space", "bytes"}:   "heap.inuse.bytes",
+	{"inuse_objects", "count"}: "heap.inuse.objects",
+	{"alloc_space", "bytes"}:   "heap.alloc.bytes",
+	{"alloc_objects", "count"}: "heap.alloc.objects",
+	{"goroutine", "count"}:     "goroutines",
+	{"threadcreate", "count"}:  "threads",
+	{"contentions", "count"}:   "sync.contentions",
+	{"delay", "nanoseconds"}:   "sync.delay.ns",
+}
+
+// MetricName returns the caligo attribute label used for a pprof sample
+// type (exported so queries and docs can be derived programmatically).
+func MetricName(vt ValueType) string {
+	if n, ok := metricNames[[2]string{vt.Type, vt.Unit}]; ok {
+		return n
+	}
+	name := "prof." + sanitizeLabel(vt.Type)
+	switch vt.Unit {
+	case "bytes":
+		name += ".bytes"
+	case "nanoseconds":
+		name += ".ns"
+	case "count", "":
+		// counts carry no suffix
+	default:
+		name += "." + sanitizeLabel(vt.Unit)
+	}
+	return name
+}
+
+// sanitizeLabel makes an arbitrary pprof type/unit string safe as a CalQL
+// attribute label: identifier runes pass, everything else becomes '_'.
+func sanitizeLabel(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteRune('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "unknown"
+	}
+	return sb.String()
+}
+
+// ConvertStats summarizes one conversion.
+type ConvertStats struct {
+	Samples int      // pprof samples consumed
+	Records int      // .cali context records written
+	Metrics []string // metric attribute labels, one per sample type
+}
+
+// Convert writes every sample of p as one .cali context record: the
+// root-first frame stack as nested prof.function entries, the leaf
+// frame's file and line as prof.file/prof.line immediates, and the
+// sample's values under the mapped metric labels. Per-profile metadata
+// (capture time, duration, period) is written as globals. The stream is
+// self-contained: it carries its own attribute and node definitions and
+// is readable by calformat.Reader and queryable with CalQL.
+func Convert(p *Profile, w io.Writer) (ConvertStats, error) {
+	start := time.Now()
+	reg := attr.NewRegistry()
+	tree := contexttree.New()
+	cw := calformat.NewWriter(w, reg, tree)
+
+	fnAttr := reg.MustCreate(AttrFunction, attr.String, attr.Nested)
+	fileAttr := reg.MustCreate(AttrFile, attr.String, attr.AsValue|attr.SkipEvents)
+	lineAttr := reg.MustCreate(AttrLine, attr.Int, attr.AsValue|attr.SkipEvents)
+
+	stats := ConvertStats{}
+	metricAttrs := make([]attr.Attribute, len(p.SampleType))
+	for i, vt := range p.SampleType {
+		name := MetricName(vt)
+		a, err := reg.Create(name, attr.Int, attr.AsValue|attr.Aggregatable|attr.SkipEvents)
+		if err != nil {
+			return stats, fmt.Errorf("prof: metric attribute %q: %w", name, err)
+		}
+		metricAttrs[i] = a
+		stats.Metrics = append(stats.Metrics, name)
+	}
+
+	var globals []attr.Entry
+	addGlobal := func(name string, typ attr.Type, v attr.Variant) {
+		a, err := reg.Create(name, typ, attr.Global)
+		if err == nil {
+			globals = append(globals, attr.Entry{Attr: a, Value: v})
+		}
+	}
+	if p.TimeNanos != 0 {
+		addGlobal("prof.time.ns", attr.Int, attr.IntV(p.TimeNanos))
+	}
+	if p.DurationNanos != 0 {
+		addGlobal("prof.duration.ns", attr.Int, attr.IntV(p.DurationNanos))
+	}
+	if p.Period != 0 {
+		addGlobal("prof.period", attr.Int, attr.IntV(p.Period))
+	}
+	if p.PeriodType.Type != "" {
+		addGlobal("prof.period.type", attr.String, attr.StringV(p.PeriodType.Type))
+	}
+	if err := cw.WriteGlobals(globals); err != nil {
+		return stats, err
+	}
+
+	for _, s := range p.Sample {
+		frames := p.Frames(s)
+		node := contexttree.InvalidNode
+		for _, f := range frames {
+			node = tree.GetChild(node, fnAttr, attr.StringV(f.Name))
+		}
+		rec := snapshot.Record{}
+		if node != contexttree.InvalidNode {
+			rec.Nodes = []contexttree.NodeID{node}
+		}
+		if n := len(frames); n > 0 {
+			leaf := frames[n-1]
+			if leaf.File != "" {
+				rec.Imm = append(rec.Imm, attr.Entry{Attr: fileAttr, Value: attr.StringV(leaf.File)})
+			}
+			if leaf.Line != 0 {
+				rec.Imm = append(rec.Imm, attr.Entry{Attr: lineAttr, Value: attr.IntV(leaf.Line)})
+			}
+		}
+		for i, v := range s.Value {
+			rec.Imm = append(rec.Imm, attr.Entry{Attr: metricAttrs[i], Value: attr.IntV(v)})
+		}
+		if rec.Empty() {
+			continue
+		}
+		if err := cw.WriteRecord(rec); err != nil {
+			return stats, err
+		}
+		stats.Records++
+		stats.Samples++
+	}
+	if err := cw.Flush(); err != nil {
+		return stats, err
+	}
+	telSamples.Add(uint64(stats.Samples))
+	telRecords.Add(uint64(stats.Records))
+	telConvertNS.Observe(time.Since(start).Nanoseconds())
+	return stats, nil
+}
+
+// WriteFolded writes the profile's samples in the folded-stacks format
+// consumed by standard flamegraph tooling: one "frame;frame;frame value"
+// line per distinct root-first stack, values summed over samples sharing
+// the stack and taken from sample type sampleIdx. Semicolons inside frame
+// names are replaced (the format reserves them as the frame separator);
+// output is sorted by stack for determinism.
+func WriteFolded(p *Profile, w io.Writer, sampleIdx int) error {
+	if sampleIdx < 0 || sampleIdx >= len(p.SampleType) {
+		return fmt.Errorf("prof: folded: sample index %d out of range (profile has %d sample types)",
+			sampleIdx, len(p.SampleType))
+	}
+	totals := map[string]int64{}
+	var sb strings.Builder
+	for _, s := range p.Sample {
+		frames := p.Frames(s)
+		if len(frames) == 0 {
+			continue
+		}
+		sb.Reset()
+		for i, f := range frames {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			sb.WriteString(foldedFrameName(f.Name))
+		}
+		totals[sb.String()] += s.Value[sampleIdx]
+	}
+	stacks := make([]string, 0, len(totals))
+	for st := range totals {
+		stacks = append(stacks, st)
+	}
+	sort.Strings(stacks)
+	for _, st := range stacks {
+		if _, err := fmt.Fprintf(w, "%s %d\n", st, totals[st]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldedFrameName makes a frame name safe for the folded format: the
+// separator characters ';' and ' ' become ':' and '_'. Newlines cannot
+// occur in Go symbol names but are stripped defensively.
+func foldedFrameName(name string) string {
+	if name == "" {
+		return "[unknown]"
+	}
+	r := strings.NewReplacer(";", ":", " ", "_", "\n", "", "\r", "")
+	return r.Replace(name)
+}

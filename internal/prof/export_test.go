@@ -1,0 +1,15 @@
+package prof
+
+// KindOfFile exposes kindOfFile to the external test package
+// (prof_test, which must be external to break the test-only import
+// cycle prof_test → calql → caliper → prof).
+var KindOfFile = kindOfFile
+
+// Wire-type constants re-exported for the external test package's
+// hand-rolled protobuf encoder.
+const (
+	WireVarint  = wireVarint
+	WireFixed64 = wireFixed64
+	WireBytes   = wireBytes
+	WireFixed32 = wireFixed32
+)

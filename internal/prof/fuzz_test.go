@@ -1,0 +1,63 @@
+package prof_test
+
+import (
+	. "caligo/internal/prof"
+
+	"bytes"
+	"compress/gzip"
+	"runtime/pprof"
+	"testing"
+)
+
+// FuzzParse throws arbitrary bytes at the pprof decoder. The decoder must
+// never panic or hang; on success, the converter and folded writer must
+// also hold up, since anything Parse accepts flows straight into them.
+func FuzzParse(f *testing.F) {
+	// structured seeds: the synthetic profile, raw and gzipped
+	pb := newProfileBuilder()
+	pb.sampleType("samples", "count")
+	pb.sampleType("cpu", "nanoseconds")
+	pb.function(1, "main", "main.go")
+	pb.function(2, "foo", "foo.go")
+	pb.location(1, [2]uint64{1, 10})
+	pb.location(2, [2]uint64{2, 20})
+	pb.sample([]uint64{2, 1}, []int64{3, 300})
+	raw := pb.build()
+	f.Add(raw)
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(raw)
+	zw.Close()
+	f.Add(gz.Bytes())
+
+	// a real runtime/pprof goroutine profile
+	var real bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&real, 0); err == nil {
+		f.Add(real.Bytes())
+	}
+
+	// adversarial seeds: truncations, wrong wire types, giant varints
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add([]byte{0x0a, 0xff, 0xff, 0xff, 0xff, 0x7f}) // huge length claim
+	f.Add([]byte{0x08, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Add(raw[:len(raw)/2])
+	f.Add(append(append([]byte{}, raw...), 0x07)) // trailing group wire type
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := Convert(p, &out); err != nil {
+			t.Fatalf("Convert failed on Parse-accepted input: %v", err)
+		}
+		if len(p.SampleType) > 0 {
+			var folded bytes.Buffer
+			if err := WriteFolded(p, &folded, 0); err != nil {
+				t.Fatalf("WriteFolded failed on Parse-accepted input: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,439 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// ValueType describes one sample value dimension (e.g. samples/count,
+// cpu/nanoseconds). Type and Unit are resolved string-table entries.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one pprof sample: a stack (leaf-first location ids, as on the
+// wire) and one value per Profile.SampleType entry.
+type Sample struct {
+	LocationID []uint64
+	Value      []int64
+}
+
+// Line is one source line within a location; inlined calls give a
+// location several lines, innermost first.
+type Line struct {
+	FunctionID uint64
+	Line       int64
+}
+
+// Location is one program address with its (possibly inlined) lines.
+type Location struct {
+	ID   uint64
+	Line []Line
+}
+
+// Function is the symbol metadata of one function.
+type Function struct {
+	ID       uint64
+	Name     string
+	Filename string
+}
+
+// Profile is the decoded subset of a profile.proto message: everything
+// the converter needs, nothing more (mappings, labels, and comments are
+// skipped on the wire).
+type Profile struct {
+	SampleType    []ValueType
+	Sample        []Sample
+	Location      map[uint64]*Location
+	Function      map[uint64]*Function
+	TimeNanos     int64
+	DurationNanos int64
+	PeriodType    ValueType
+	Period        int64
+
+	strings []string
+}
+
+// gzipMagic are the first two bytes of any gzip stream; runtime/pprof
+// always compresses, but raw protobuf input is accepted too.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// Parse decodes a pprof profile from data, transparently decompressing
+// gzip input. It validates cross-references: every sample location id
+// must resolve, every line's function id must resolve, and every sample
+// must carry exactly one value per sample type.
+func Parse(data []byte) (*Profile, error) {
+	if bytes.HasPrefix(data, gzipMagic) {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gzip: %w", err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(zr, 1<<30))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gzip: %w", err)
+		}
+		data = raw
+	}
+	p := &Profile{
+		Location: map[uint64]*Location{},
+		Function: map[uint64]*Function{},
+	}
+	d := decoder{buf: data}
+	type fnIdx struct {
+		fn         *Function
+		name, file uint64
+	}
+	var (
+		sampleTypeIdx [][2]uint64 // unresolved (type,unit) string indices
+		periodTypeIdx [2]uint64
+		hasPeriodType bool
+		fnIndices     []fnIdx // unresolved function name/filename indices
+	)
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // sample_type
+			body, err := d.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			ti, ui, err := parseValueType(body)
+			if err != nil {
+				return nil, err
+			}
+			sampleTypeIdx = append(sampleTypeIdx, [2]uint64{ti, ui})
+		case 2: // sample
+			body, err := d.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			if len(p.Sample) >= maxSamples {
+				return nil, fmt.Errorf("prof: more than %d samples", maxSamples)
+			}
+			s, err := parseSample(body)
+			if err != nil {
+				return nil, err
+			}
+			p.Sample = append(p.Sample, s)
+		case 4: // location
+			body, err := d.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			loc, err := parseLocation(body)
+			if err != nil {
+				return nil, err
+			}
+			p.Location[loc.ID] = loc
+		case 5: // function
+			body, err := d.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			fn, ni, fi, err := parseFunction(body)
+			if err != nil {
+				return nil, err
+			}
+			// resolve after the string table is complete
+			p.Function[fn.ID] = fn
+			fnIndices = append(fnIndices, fnIdx{fn: fn, name: ni, file: fi})
+		case 6: // string_table
+			body, err := d.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			if len(p.strings) >= maxStringTable {
+				return nil, fmt.Errorf("prof: string table larger than %d", maxStringTable)
+			}
+			p.strings = append(p.strings, string(body))
+		case 9: // time_nanos
+			v, err := d.intField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.TimeNanos = int64(v)
+		case 10: // duration_nanos
+			v, err := d.intField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.DurationNanos = int64(v)
+		case 11: // period_type
+			body, err := d.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			ti, ui, err := parseValueType(body)
+			if err != nil {
+				return nil, err
+			}
+			periodTypeIdx = [2]uint64{ti, ui}
+			hasPeriodType = true
+		case 12: // period
+			v, err := d.intField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.Period = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// resolve string indices and validate cross-references
+	for _, ti := range sampleTypeIdx {
+		t, err := p.str(ti[0])
+		if err != nil {
+			return nil, err
+		}
+		u, err := p.str(ti[1])
+		if err != nil {
+			return nil, err
+		}
+		p.SampleType = append(p.SampleType, ValueType{Type: t, Unit: u})
+	}
+	if hasPeriodType {
+		t, err := p.str(periodTypeIdx[0])
+		if err != nil {
+			return nil, err
+		}
+		u, err := p.str(periodTypeIdx[1])
+		if err != nil {
+			return nil, err
+		}
+		p.PeriodType = ValueType{Type: t, Unit: u}
+	}
+	for _, fi := range fnIndices {
+		name, err := p.str(fi.name)
+		if err != nil {
+			return nil, err
+		}
+		file, err := p.str(fi.file)
+		if err != nil {
+			return nil, err
+		}
+		fi.fn.Name, fi.fn.Filename = name, file
+	}
+	if len(p.SampleType) == 0 {
+		return nil, fmt.Errorf("prof: profile has no sample types")
+	}
+	for i, s := range p.Sample {
+		if len(s.Value) != len(p.SampleType) {
+			return nil, fmt.Errorf("prof: sample %d has %d values, want %d",
+				i, len(s.Value), len(p.SampleType))
+		}
+		for _, lid := range s.LocationID {
+			if _, ok := p.Location[lid]; !ok {
+				return nil, fmt.Errorf("prof: sample %d references unknown location %d", i, lid)
+			}
+		}
+	}
+	for _, loc := range p.Location {
+		for _, ln := range loc.Line {
+			if _, ok := p.Function[ln.FunctionID]; !ok {
+				return nil, fmt.Errorf("prof: location %d references unknown function %d",
+					loc.ID, ln.FunctionID)
+			}
+		}
+	}
+	return p, nil
+}
+
+// str resolves a string-table index.
+func (p *Profile) str(i uint64) (string, error) {
+	if i >= uint64(len(p.strings)) {
+		return "", fmt.Errorf("prof: string index %d out of range (table has %d)", i, len(p.strings))
+	}
+	return p.strings[i], nil
+}
+
+func parseValueType(body []byte) (typeIdx, unitIdx uint64, err error) {
+	d := decoder{buf: body}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch field {
+		case 1:
+			if typeIdx, err = d.intField(wire); err != nil {
+				return 0, 0, err
+			}
+		case 2:
+			if unitIdx, err = d.intField(wire); err != nil {
+				return 0, 0, err
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return typeIdx, unitIdx, nil
+}
+
+func parseSample(body []byte) (Sample, error) {
+	var s Sample
+	d := decoder{buf: body}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return s, err
+		}
+		switch field {
+		case 1: // location_id
+			if s.LocationID, err = d.appendPacked(s.LocationID, wire); err != nil {
+				return s, err
+			}
+			if len(s.LocationID) > maxStackDepth {
+				return s, fmt.Errorf("prof: sample stack deeper than %d", maxStackDepth)
+			}
+		case 2: // value
+			if s.Value, err = d.appendPackedInt64(s.Value, wire); err != nil {
+				return s, err
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func parseLocation(body []byte) (*Location, error) {
+	loc := &Location{}
+	d := decoder{buf: body}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // id
+			v, err := d.intField(wire)
+			if err != nil {
+				return nil, err
+			}
+			loc.ID = v
+		case 4: // line
+			lb, err := d.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			ln, err := parseLine(lb)
+			if err != nil {
+				return nil, err
+			}
+			loc.Line = append(loc.Line, ln)
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return loc, nil
+}
+
+func parseLine(body []byte) (Line, error) {
+	var ln Line
+	d := decoder{buf: body}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return ln, err
+		}
+		switch field {
+		case 1:
+			v, err := d.intField(wire)
+			if err != nil {
+				return ln, err
+			}
+			ln.FunctionID = v
+		case 2:
+			v, err := d.intField(wire)
+			if err != nil {
+				return ln, err
+			}
+			ln.Line = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return ln, err
+			}
+		}
+	}
+	return ln, nil
+}
+
+func parseFunction(body []byte) (fn *Function, nameIdx, fileIdx uint64, err error) {
+	fn = &Function{}
+	d := decoder{buf: body}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		switch field {
+		case 1: // id
+			v, err := d.intField(wire)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			fn.ID = v
+		case 2: // name
+			if nameIdx, err = d.intField(wire); err != nil {
+				return nil, 0, 0, err
+			}
+		case 4: // filename
+			if fileIdx, err = d.intField(wire); err != nil {
+				return nil, 0, 0, err
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+	}
+	return fn, nameIdx, fileIdx, nil
+}
+
+// Frames expands one sample's stack into root-first frames: the wire
+// order is leaf-first locations, each location expanding to its inlined
+// lines innermost-first, so the full reversal yields the calling order.
+// The returned slice is freshly allocated.
+func (p *Profile) Frames(s Sample) []Frame {
+	var leafFirst []Frame
+	for _, lid := range s.LocationID {
+		loc := p.Location[lid]
+		if loc == nil {
+			continue
+		}
+		if len(loc.Line) == 0 {
+			// an unsymbolized location still occupies a frame
+			leafFirst = append(leafFirst, Frame{Name: fmt.Sprintf("0x%x", loc.ID)})
+			continue
+		}
+		for _, ln := range loc.Line {
+			fn := p.Function[ln.FunctionID]
+			leafFirst = append(leafFirst, Frame{Name: fn.Name, File: fn.Filename, Line: ln.Line})
+		}
+	}
+	for i, j := 0, len(leafFirst)-1; i < j; i, j = i+1, j-1 {
+		leafFirst[i], leafFirst[j] = leafFirst[j], leafFirst[i]
+	}
+	return leafFirst
+}
+
+// Frame is one resolved stack frame.
+type Frame struct {
+	Name string
+	File string
+	Line int64
+}

@@ -1,0 +1,446 @@
+package prof_test
+
+import (
+	. "caligo/internal/prof"
+
+	"bytes"
+	"compress/gzip"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Test-only protobuf encoder: builds profile.proto messages byte by byte so
+// decoder tests do not depend on any protobuf library.
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendTag(b []byte, field, wire int) []byte {
+	return appendVarint(b, uint64(field)<<3|uint64(wire))
+}
+
+func appendBytesField(b []byte, field int, body []byte) []byte {
+	b = appendTag(b, field, WireBytes)
+	b = appendVarint(b, uint64(len(body)))
+	return append(b, body...)
+}
+
+func appendIntField(b []byte, field int, v uint64) []byte {
+	b = appendTag(b, field, WireVarint)
+	return appendVarint(b, v)
+}
+
+func appendPackedField(b []byte, field int, vals []uint64) []byte {
+	var body []byte
+	for _, v := range vals {
+		body = appendVarint(body, v)
+	}
+	return appendBytesField(b, field, body)
+}
+
+// profileBuilder assembles a synthetic profile with interned strings.
+type profileBuilder struct {
+	strings map[string]uint64
+	table   []string
+	buf     []byte
+}
+
+func newProfileBuilder() *profileBuilder {
+	return &profileBuilder{strings: map[string]uint64{"": 0}, table: []string{""}}
+}
+
+func (pb *profileBuilder) str(s string) uint64 {
+	if i, ok := pb.strings[s]; ok {
+		return i
+	}
+	i := uint64(len(pb.table))
+	pb.strings[s] = i
+	pb.table = append(pb.table, s)
+	return i
+}
+
+func (pb *profileBuilder) sampleType(typ, unit string) {
+	var vt []byte
+	vt = appendIntField(vt, 1, pb.str(typ))
+	vt = appendIntField(vt, 2, pb.str(unit))
+	pb.buf = appendBytesField(pb.buf, 1, vt)
+}
+
+func (pb *profileBuilder) sample(locIDs []uint64, values []int64) {
+	var s []byte
+	s = appendPackedField(s, 1, locIDs)
+	uvals := make([]uint64, len(values))
+	for i, v := range values {
+		uvals[i] = uint64(v)
+	}
+	s = appendPackedField(s, 2, uvals)
+	pb.buf = appendBytesField(pb.buf, 2, s)
+}
+
+// sampleUnpacked writes location ids as individual varint fields (the
+// non-packed repeated encoding the format also permits).
+func (pb *profileBuilder) sampleUnpacked(locIDs []uint64, values []int64) {
+	var s []byte
+	for _, id := range locIDs {
+		s = appendIntField(s, 1, id)
+	}
+	for _, v := range values {
+		s = appendIntField(s, 2, uint64(v))
+	}
+	pb.buf = appendBytesField(pb.buf, 2, s)
+}
+
+func (pb *profileBuilder) location(id uint64, lines ...[2]uint64) { // (functionID, line)
+	var loc []byte
+	loc = appendIntField(loc, 1, id)
+	for _, ln := range lines {
+		var lb []byte
+		lb = appendIntField(lb, 1, ln[0])
+		lb = appendIntField(lb, 2, ln[1])
+		loc = appendBytesField(loc, 4, lb)
+	}
+	pb.buf = appendBytesField(pb.buf, 4, loc)
+}
+
+func (pb *profileBuilder) function(id uint64, name, file string) {
+	var fn []byte
+	fn = appendIntField(fn, 1, id)
+	fn = appendIntField(fn, 2, pb.str(name))
+	fn = appendIntField(fn, 4, pb.str(file))
+	pb.buf = appendBytesField(pb.buf, 5, fn)
+}
+
+func (pb *profileBuilder) build() []byte {
+	out := pb.buf
+	for _, s := range pb.table {
+		out = appendBytesField(out, 6, []byte(s))
+	}
+	return out
+}
+
+// synthProfile builds the canonical test profile:
+//
+//	main            10 samples / 1000 ns
+//	main>foo        20 / 2000
+//	main>foo>bar    40 / 4000
+//	main>baz         5 / 500
+func synthProfile(t *testing.T) (*Profile, []byte) {
+	t.Helper()
+	pb := newProfileBuilder()
+	pb.sampleType("samples", "count")
+	pb.sampleType("cpu", "nanoseconds")
+	pb.function(1, "main", "main.go")
+	pb.function(2, "foo", "foo.go")
+	pb.function(3, "bar", "bar.go")
+	pb.function(4, "baz", "baz.go")
+	pb.location(1, [2]uint64{1, 10})
+	pb.location(2, [2]uint64{2, 20})
+	pb.location(3, [2]uint64{3, 30})
+	pb.location(4, [2]uint64{4, 40})
+	// location ids are leaf-first on the wire
+	pb.sample([]uint64{1}, []int64{10, 1000})
+	pb.sample([]uint64{2, 1}, []int64{20, 2000})
+	pb.sample([]uint64{3, 2, 1}, []int64{40, 4000})
+	pb.sampleUnpacked([]uint64{4, 1}, []int64{5, 500})
+	pb.buf = appendIntField(pb.buf, 9, 12345)  // time_nanos
+	pb.buf = appendIntField(pb.buf, 10, 1e9)   // duration_nanos
+	pb.buf = appendIntField(pb.buf, 12, 10000) // period
+	raw := pb.build()
+	p, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse(synthetic): %v", err)
+	}
+	return p, raw
+}
+
+func TestParseSynthetic(t *testing.T) {
+	p, _ := synthProfile(t)
+	if got := len(p.SampleType); got != 2 {
+		t.Fatalf("sample types = %d, want 2", got)
+	}
+	if p.SampleType[0] != (ValueType{"samples", "count"}) ||
+		p.SampleType[1] != (ValueType{"cpu", "nanoseconds"}) {
+		t.Errorf("sample types = %v", p.SampleType)
+	}
+	if len(p.Sample) != 4 {
+		t.Fatalf("samples = %d, want 4", len(p.Sample))
+	}
+	if p.TimeNanos != 12345 || p.DurationNanos != 1e9 || p.Period != 10000 {
+		t.Errorf("meta = (%d,%d,%d)", p.TimeNanos, p.DurationNanos, p.Period)
+	}
+	// frames come out root-first
+	frames := p.Frames(p.Sample[2])
+	want := []string{"main", "foo", "bar"}
+	if len(frames) != len(want) {
+		t.Fatalf("frames = %v", frames)
+	}
+	for i, w := range want {
+		if frames[i].Name != w {
+			t.Errorf("frame %d = %q, want %q", i, frames[i].Name, w)
+		}
+	}
+	if frames[2].File != "bar.go" || frames[2].Line != 30 {
+		t.Errorf("leaf frame = %+v", frames[2])
+	}
+	// the unpacked-encoding sample decodes identically
+	frames = p.Frames(p.Sample[3])
+	if len(frames) != 2 || frames[0].Name != "main" || frames[1].Name != "baz" {
+		t.Errorf("unpacked sample frames = %v", frames)
+	}
+}
+
+func TestParseGzipped(t *testing.T) {
+	p, raw := synthProfile(t)
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(raw)
+	zw.Close()
+	p2, err := Parse(gz.Bytes())
+	if err != nil {
+		t.Fatalf("Parse(gzipped): %v", err)
+	}
+	if len(p2.Sample) != len(p.Sample) || len(p2.Function) != len(p.Function) {
+		t.Errorf("gzipped parse differs: %d samples / %d functions", len(p2.Sample), len(p2.Function))
+	}
+}
+
+func TestParseInlinedLines(t *testing.T) {
+	// one location carrying two lines = an inlined call; innermost first
+	pb := newProfileBuilder()
+	pb.sampleType("samples", "count")
+	pb.function(1, "outer", "o.go")
+	pb.function(2, "inlined", "i.go")
+	pb.location(1, [2]uint64{2, 5}, [2]uint64{1, 50})
+	pb.sample([]uint64{1}, []int64{7})
+	p, err := Parse(pb.build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := p.Frames(p.Sample[0])
+	if len(frames) != 2 || frames[0].Name != "outer" || frames[1].Name != "inlined" {
+		t.Errorf("inline expansion = %v", frames)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      {},
+		"garbage":    {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		"bad gzip":   {0x1f, 0x8b, 0x00},
+		"truncated":  {0x0a}, // bytes field with missing length
+		"field zero": {0x00, 0x00},
+	}
+	for name, data := range cases {
+		if _, err := Parse(data); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+
+	// sample referencing an unknown location
+	pb := newProfileBuilder()
+	pb.sampleType("samples", "count")
+	pb.sample([]uint64{99}, []int64{1})
+	if _, err := Parse(pb.build()); err == nil {
+		t.Error("unknown location: expected error")
+	}
+
+	// value count mismatch vs sample types
+	pb = newProfileBuilder()
+	pb.sampleType("samples", "count")
+	pb.sampleType("cpu", "nanoseconds")
+	pb.function(1, "f", "f.go")
+	pb.location(1, [2]uint64{1, 1})
+	pb.sample([]uint64{1}, []int64{1}) // one value, two types
+	if _, err := Parse(pb.build()); err == nil {
+		t.Error("value count mismatch: expected error")
+	}
+
+	// string index out of range
+	var buf []byte
+	var vt []byte
+	vt = appendIntField(vt, 1, 40)
+	vt = appendIntField(vt, 2, 41)
+	buf = appendBytesField(buf, 1, vt)
+	buf = appendBytesField(buf, 6, nil)
+	if _, err := Parse(buf); err == nil {
+		t.Error("string index out of range: expected error")
+	}
+
+	// no sample types at all
+	pb = newProfileBuilder()
+	pb.function(1, "f", "f.go")
+	if _, err := Parse(pb.build()); err == nil {
+		t.Error("missing sample types: expected error")
+	}
+}
+
+// burnCPU spins on real work until done is closed, so a CPU window has
+// something to sample.
+func burnCPU(done <-chan struct{}) {
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	x := uint64(0)
+	for {
+		select {
+		case <-done:
+			runtime.KeepAlive(x)
+			return
+		default:
+			for i := 0; i < len(buf); i++ {
+				x = x*1099511628211 + uint64(buf[i])
+			}
+		}
+	}
+}
+
+// captureGoldenCPU records a real CPU profile of this test process via
+// runtime/pprof (the golden source of truth for the decoder), retrying
+// with a longer window if the scheduler delivered no samples.
+func captureGoldenCPU(t *testing.T) *Profile {
+	t.Helper()
+	for _, window := range []time.Duration{time.Second, 2 * time.Second} {
+		done := make(chan struct{})
+		go burnCPU(done)
+		go burnCPU(done)
+		var buf bytes.Buffer
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			close(done)
+			t.Fatalf("StartCPUProfile: %v", err)
+		}
+		time.Sleep(window)
+		pprof.StopCPUProfile()
+		close(done)
+		p, err := Parse(buf.Bytes())
+		if err != nil {
+			t.Fatalf("Parse(golden CPU profile): %v", err)
+		}
+		if len(p.Sample) > 0 {
+			return p
+		}
+	}
+	t.Fatal("no CPU samples after two windows")
+	return nil
+}
+
+func TestParseGoldenCPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping 1s profile window")
+	}
+	p := captureGoldenCPU(t)
+	// runtime/pprof CPU profiles carry exactly these two sample types
+	if len(p.SampleType) != 2 ||
+		p.SampleType[0] != (ValueType{"samples", "count"}) ||
+		p.SampleType[1] != (ValueType{"cpu", "nanoseconds"}) {
+		t.Fatalf("sample types = %v", p.SampleType)
+	}
+	if p.Period <= 0 || p.DurationNanos <= 0 || p.TimeNanos <= 0 {
+		t.Errorf("metadata: period=%d duration=%d time=%d", p.Period, p.DurationNanos, p.TimeNanos)
+	}
+	sawBurn := false
+	for _, s := range p.Sample {
+		if len(s.Value) != 2 {
+			t.Fatalf("sample has %d values", len(s.Value))
+		}
+		if s.Value[0] <= 0 {
+			t.Errorf("non-positive sample count %d", s.Value[0])
+		}
+		frames := p.Frames(s)
+		if len(frames) == 0 {
+			t.Error("sample with no frames")
+		}
+		for _, f := range frames {
+			if f.Name == "" {
+				t.Error("frame with empty name")
+			}
+			if strings.HasSuffix(f.Name, "prof_test.burnCPU") {
+				sawBurn = true
+			}
+		}
+	}
+	if !sawBurn {
+		t.Error("golden profile never sampled burnCPU (symbolization broken?)")
+	}
+}
+
+func TestParseGoldenHeap(t *testing.T) {
+	// allocate something attributable so the heap profile is non-trivial
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 64*1024))
+	}
+	runtime.GC() // heap profile reflects post-GC live data
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatalf("heap profile: %v", err)
+	}
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse(golden heap profile): %v", err)
+	}
+	want := []ValueType{
+		{"alloc_objects", "count"}, {"alloc_space", "bytes"},
+		{"inuse_objects", "count"}, {"inuse_space", "bytes"},
+	}
+	if len(p.SampleType) != len(want) {
+		t.Fatalf("sample types = %v", p.SampleType)
+	}
+	for i, w := range want {
+		if p.SampleType[i] != w {
+			t.Errorf("sample type %d = %v, want %v", i, p.SampleType[i], w)
+		}
+	}
+	runtime.KeepAlive(sink)
+}
+
+func TestParseGoldenGoroutine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 0); err != nil {
+		t.Fatalf("goroutine profile: %v", err)
+	}
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse(golden goroutine profile): %v", err)
+	}
+	if len(p.SampleType) != 1 || p.SampleType[0] != (ValueType{"goroutine", "count"}) {
+		t.Fatalf("sample types = %v", p.SampleType)
+	}
+	total := int64(0)
+	for _, s := range p.Sample {
+		total += s.Value[0]
+	}
+	if total < 1 {
+		t.Errorf("goroutine count = %d, want >= 1", total)
+	}
+}
+
+// TestGoldenFileRoundTrip pins the decoder against a profile written to
+// disk and read back, the way cali-prof convert consumes files.
+func TestGoldenFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/goroutine.pb.gz"
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(data); err != nil {
+		t.Fatalf("Parse(file round trip): %v", err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package prof turns Go runtime profiles (the gzipped pprof protobuf
+// format produced by runtime/pprof) into caligo's own calling-context
+// records: each pprof sample becomes one .cali context record whose stack
+// is a path of nested prof.function nodes, with the sample values
+// (cpu.samples, cpu.ns, heap.inuse.bytes, ...) as immediate metric
+// entries. The result is queryable with the same CalQL used for
+// application data — "where does my process spend its time" becomes
+//
+//	SELECT prof.function, inclusive_sum(cpu.samples)
+//	GROUP BY prof.function FORMAT tree
+//
+// The package has three layers: a minimal, stdlib-only decoder for the
+// profile.proto wire subset the converter needs (this file and pprof.go),
+// the converter itself (convert.go), and a continuous capture scheduler
+// with bounded on-disk retention (profiler.go).
+package prof
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wire types of the protobuf binary encoding. Only the three that occur
+// in profile.proto are accepted; groups (3/4) are an error.
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+var errTruncated = errors.New("prof: truncated protobuf message")
+
+// decoder is a cursor over one protobuf message body. Nested messages
+// decode with a sub-decoder over their length-delimited bytes.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) done() bool { return d.pos >= len(d.buf) }
+
+// varint reads one base-128 varint. The 10-byte cap matches the maximum
+// encoded length of a 64-bit value; longer runs are malformed input.
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.buf) {
+			return 0, errTruncated
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("prof: varint overflows 64 bits")
+}
+
+// tag reads the next field tag, returning field number and wire type.
+func (d *decoder) tag() (int, int, error) {
+	t, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	field := int(t >> 3)
+	wire := int(t & 7)
+	if field == 0 {
+		return 0, 0, errors.New("prof: field number 0 is invalid")
+	}
+	return field, wire, nil
+}
+
+// bytesField reads a length-delimited field body.
+func (d *decoder) bytesField() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, errTruncated
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+// skip consumes one field body of the given wire type.
+func (d *decoder) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := d.varint()
+		return err
+	case wireFixed64:
+		if len(d.buf)-d.pos < 8 {
+			return errTruncated
+		}
+		d.pos += 8
+		return nil
+	case wireBytes:
+		_, err := d.bytesField()
+		return err
+	case wireFixed32:
+		if len(d.buf)-d.pos < 4 {
+			return errTruncated
+		}
+		d.pos += 4
+		return nil
+	}
+	return fmt.Errorf("prof: unsupported wire type %d", wire)
+}
+
+// intField reads a varint-encoded integer field (int64/uint64 in
+// profile.proto use plain two's-complement varints, not zigzag).
+func (d *decoder) intField(wire int) (uint64, error) {
+	switch wire {
+	case wireVarint:
+		return d.varint()
+	case wireFixed64:
+		if len(d.buf)-d.pos < 8 {
+			return 0, errTruncated
+		}
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(d.buf[d.pos+i]) << (8 * i)
+		}
+		d.pos += 8
+		return v, nil
+	case wireFixed32:
+		if len(d.buf)-d.pos < 4 {
+			return 0, errTruncated
+		}
+		var v uint64
+		for i := 0; i < 4; i++ {
+			v |= uint64(d.buf[d.pos+i]) << (8 * i)
+		}
+		d.pos += 4
+		return v, nil
+	}
+	return 0, fmt.Errorf("prof: integer field has wire type %d", wire)
+}
+
+// appendPacked appends the elements of a repeated integer field to dst.
+// Both encodings are accepted: a packed length-delimited run and a single
+// unpacked varint element (runtime/pprof writes packed, but the format
+// allows either and real-world writers mix them).
+func (d *decoder) appendPacked(dst []uint64, wire int) ([]uint64, error) {
+	if wire == wireBytes {
+		body, err := d.bytesField()
+		if err != nil {
+			return dst, err
+		}
+		sub := decoder{buf: body}
+		for !sub.done() {
+			v, err := sub.varint()
+			if err != nil {
+				return dst, err
+			}
+			dst = append(dst, v)
+		}
+		return dst, nil
+	}
+	v, err := d.intField(wire)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, v), nil
+}
+
+// appendPackedInt64 is appendPacked for int64 value lists.
+func (d *decoder) appendPackedInt64(dst []int64, wire int) ([]int64, error) {
+	tmp, err := d.appendPacked(nil, wire)
+	if err != nil {
+		return dst, err
+	}
+	for _, v := range tmp {
+		dst = append(dst, int64(v))
+	}
+	return dst, nil
+}
+
+// sanity caps guarding against pathological inputs (a handful of bytes can
+// claim astronomically large counts; real profiles stay far below these).
+const (
+	maxStringTable = 1 << 22 // entries
+	maxSamples     = 1 << 24
+	maxStackDepth  = 1 << 16 // frames per sample
+)
