@@ -9,12 +9,10 @@ package calql
 import (
 	"fmt"
 	"io"
-	"os"
 	"time"
 
 	"caligo/caliper"
 	"caligo/internal/attr"
-	"caligo/internal/calformat"
 	internalcalql "caligo/internal/calql"
 	"caligo/internal/contexttree"
 	"caligo/internal/mpi"
@@ -81,11 +79,33 @@ func (b *stringsBuilder) Write(p []byte) (int, error) {
 }
 func (b *stringsBuilder) String() string { return string(b.buf) }
 
+// Options control query execution across the QueryFiles* entry points.
+// The zero value is the default behavior.
+type Options struct {
+	// NoIndex disables sidecar index use: every file is fully decoded,
+	// with no file/block pruning and no projection pushdown. The output is
+	// byte-identical either way; the flag exists for comparison and as an
+	// escape hatch.
+	NoIndex bool
+}
+
+func (o Options) scan() query.ScanOptions {
+	return query.ScanOptions{UseIndex: !o.NoIndex}
+}
+
 // QueryFiles runs a query serially over the given .cali files, merging
 // them into one dataset first (the off-line analytical aggregation path).
+// Sidecar block indexes (see calformat.BuildFileIndex) are consulted when
+// present: files and blocks the WHERE clause cannot match are skipped,
+// and aggregating queries decode only the attributes they reference.
 func QueryFiles(queryText string, files []string) (*Resultset, error) {
+	return QueryFilesOpt(queryText, files, Options{})
+}
+
+// QueryFilesOpt is QueryFiles with explicit execution options.
+func QueryFilesOpt(queryText string, files []string, opts Options) (*Resultset, error) {
 	aq := obs.BeginQuery(queryText, "serial")
-	rs, err := queryFilesObs(queryText, files, aq)
+	rs, err := queryFilesObs(queryText, files, opts, aq)
 	if rs != nil {
 		aq.SetRows(len(rs.Rows))
 	}
@@ -95,7 +115,7 @@ func QueryFiles(queryText string, files []string) (*Resultset, error) {
 
 // queryFilesObs is the serial execution body, accounting into aq (nil
 // disables attribution).
-func queryFilesObs(queryText string, files []string, aq *obs.ActiveQuery) (*Resultset, error) {
+func queryFilesObs(queryText string, files []string, opts Options, aq *obs.ActiveQuery) (*Resultset, error) {
 	q, err := Parse(queryText)
 	if err != nil {
 		return nil, err
@@ -109,7 +129,8 @@ func queryFilesObs(queryText string, files []string, aq *obs.ActiveQuery) (*Resu
 	// Records stream straight from the decoder into the engine through one
 	// reused record (no whole-dataset buffering). The read and aggregate
 	// spans still both appear — aggregate nested inside read — so EXPLAIN
-	// ANALYZE sees the same phase structure as the parallel path.
+	// ANALYZE sees the same phase structure as the parallel path. The scan
+	// plan emits its own query.index spans alongside.
 	rsp := trace.Begin("query.read")
 	asp := trace.Begin("query.aggregate")
 	if qid := aq.ID(); qid != 0 {
@@ -120,43 +141,12 @@ func queryFilesObs(queryText string, files []string, aq *obs.ActiveQuery) (*Resu
 	if aq != nil {
 		readStart = time.Now()
 	}
-	var rec snapshot.FlatRecord
-	var nrecs int
-	var bytesRead int64
-	for _, fn := range files {
-		f, err := os.Open(fn)
-		if err != nil {
-			asp.End()
-			rsp.End()
-			return nil, err
-		}
-		cr := &countingReader{r: f}
-		rd := calformat.NewReader(cr, reg, tree)
-		for {
-			err := rd.NextInto(&rec)
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				asp.End()
-				rsp.End()
-				f.Close()
-				return nil, fmt.Errorf("%s: %w", fn, err)
-			}
-			if err := eng.Process(rec); err != nil {
-				asp.End()
-				rsp.End()
-				f.Close()
-				return nil, err
-			}
-			nrecs++
-		}
-		bytesRead += cr.n
-		if err := f.Close(); err != nil {
-			asp.End()
-			rsp.End()
-			return nil, err
-		}
+	plan := query.NewScanPlan(q, opts.scan())
+	nrecs, bytesRead, err := plan.ScanFiles(eng, files, reg, tree)
+	if err != nil {
+		asp.End()
+		rsp.End()
+		return nil, err
 	}
 	asp.ArgInt("records_in", int64(nrecs))
 	asp.ArgInt("records_out", int64(eng.Size()))
@@ -190,6 +180,13 @@ func queryFilesObs(queryText string, files []string, aq *obs.ActiveQuery) (*Resu
 // byte-identical to QueryFiles. jobs <= 0 selects one worker per CPU;
 // jobs == 1 shares the code path but runs a single worker.
 func QueryFilesJobs(queryText string, files []string, jobs int) (*Resultset, error) {
+	return QueryFilesJobsOpt(queryText, files, jobs, Options{})
+}
+
+// QueryFilesJobsOpt is QueryFilesJobs with explicit execution options.
+// With indexing enabled (the default), indexed files additionally shard
+// internally: block ranges of one large file fan out across the workers.
+func QueryFilesJobsOpt(queryText string, files []string, jobs int, opts Options) (*Resultset, error) {
 	aq := obs.BeginQuery(queryText, "sharded")
 	q, err := Parse(queryText)
 	if err != nil {
@@ -197,7 +194,7 @@ func QueryFilesJobs(queryText string, files []string, jobs int) (*Resultset, err
 		return nil, err
 	}
 	reg := attr.NewRegistry()
-	rows, err := query.RunShardedFilesObs(q, reg, files, jobs, aq)
+	rows, err := query.RunShardedFilesOpts(q, reg, files, jobs, aq, opts.scan())
 	if err != nil {
 		aq.End(err)
 		return nil, err
@@ -223,6 +220,13 @@ type ParallelResult struct {
 // each rank aggregates its subset locally, and the partial aggregation
 // databases are combined in a logarithmic tree reduction.
 func QueryFilesParallel(queryText string, files []string, ranks int) (*ParallelResult, error) {
+	return QueryFilesParallelOpt(queryText, files, ranks, Options{})
+}
+
+// QueryFilesParallelOpt is QueryFilesParallel with explicit execution
+// options. Each rank scans its file subset through the index-aware scan
+// layer, so sidecar indexes prune files and blocks per rank.
+func QueryFilesParallelOpt(queryText string, files []string, ranks int, opts Options) (*ParallelResult, error) {
 	if ranks <= 0 {
 		ranks = len(files)
 	}
@@ -235,27 +239,15 @@ func QueryFilesParallel(queryText string, files []string, ranks int) (*ParallelR
 		aq.End(err)
 		return nil, err
 	}
-	provider := func(rank int) (io.ReadCloser, error) {
+	filesFor := func(rank int) []string {
 		// round-robin assignment: rank r reads files r, r+ranks, ...
-		var readers []io.Reader
-		var closers []io.Closer
+		var fl []string
 		for i := rank; i < len(files); i += ranks {
-			f, err := os.Open(files[i])
-			if err != nil {
-				for _, c := range closers {
-					c.Close()
-				}
-				return nil, err
-			}
-			readers = append(readers, f)
-			closers = append(closers, f)
+			fl = append(fl, files[i])
 		}
-		if len(readers) == 0 {
-			return nil, nil
-		}
-		return &multiReadCloser{r: io.MultiReader(readers...), closers: closers}, nil
+		return fl
 	}
-	res, err := pquery.RunObs(world, queryText, provider, 0, aq)
+	res, err := pquery.RunFilesObs(world, queryText, filesFor, 0, aq, opts.scan())
 	if err != nil {
 		aq.End(err)
 		return nil, err
@@ -303,6 +295,14 @@ func ExplainFiles(queryText string, files []string, ranks int) (string, error) {
 // QueryFilesJobs). Ranks take precedence: the emulated-MPI path has its
 // own internal parallelism.
 func ExplainFilesJobs(queryText string, files []string, ranks, jobs int) (string, error) {
+	return ExplainFilesOpts(queryText, files, ranks, jobs, Options{})
+}
+
+// ExplainFilesOpts is ExplainFilesJobs with explicit execution options.
+// The plan's index node reports the prunable conditions and decode
+// projection (or that indexing is disabled); under ANALYZE it carries the
+// measured block skip statistics.
+func ExplainFilesOpts(queryText string, files []string, ranks, jobs int, eopts Options) (string, error) {
 	q, err := Parse(queryText)
 	if err != nil {
 		return "", err
@@ -316,7 +316,7 @@ func ExplainFilesJobs(queryText string, files []string, ranks, jobs int) (string
 	if jobs > len(files) {
 		jobs = len(files)
 	}
-	opts := query.PlanOptions{Inputs: len(files)}
+	opts := query.PlanOptions{Inputs: len(files), UseIndex: !eopts.NoIndex}
 	if ranks > 0 {
 		opts.Ranks = ranks
 		opts.Fanin = 2
@@ -337,19 +337,19 @@ func ExplainFilesJobs(queryText string, files []string, ranks, jobs int) (string
 		switch {
 		case ranks > 0:
 			var res *ParallelResult
-			res, runErr = QueryFilesParallel(innerText, files, ranks)
+			res, runErr = QueryFilesParallelOpt(innerText, files, ranks, eopts)
 			if runErr == nil {
 				runErr = res.Render(io.Discard)
 			}
 		case jobs > 1:
 			var res *Resultset
-			res, runErr = QueryFilesJobs(innerText, files, jobs)
+			res, runErr = QueryFilesJobsOpt(innerText, files, jobs, eopts)
 			if runErr == nil {
 				runErr = res.Render(io.Discard)
 			}
 		default:
 			var res *Resultset
-			res, runErr = QueryFiles(innerText, files)
+			res, runErr = QueryFilesOpt(innerText, files, eopts)
 			if runErr == nil {
 				runErr = res.Render(io.Discard)
 			}
@@ -366,23 +366,6 @@ func ExplainFilesJobs(queryText string, files []string, ranks, jobs int) (string
 		return "", err
 	}
 	return sb.String(), nil
-}
-
-type multiReadCloser struct {
-	r       io.Reader
-	closers []io.Closer
-}
-
-func (m *multiReadCloser) Read(p []byte) (int, error) { return m.r.Read(p) }
-
-func (m *multiReadCloser) Close() error {
-	var first error
-	for _, c := range m.closers {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
 }
 
 // QueryChannel flushes a live measurement channel and runs a query over

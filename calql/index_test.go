@@ -1,0 +1,123 @@
+package calql
+
+import (
+	"strings"
+	"testing"
+
+	"caligo/internal/calformat"
+)
+
+// indexedFiles builds the uneven sharded corpus and a sidecar block index
+// for every file, with deliberately small blocks so even these small test
+// datasets span several blocks per file.
+func indexedFiles(t *testing.T, nfiles int) []string {
+	t.Helper()
+	files := shardedFiles(t, nfiles)
+	for _, f := range files {
+		idx, err := calformat.BuildFileIndex(f, calformat.IndexOptions{BlockRecords: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := calformat.WriteIndexFile(f, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return files
+}
+
+// TestIndexSmoke is the end-to-end guarantee of the index layer at the
+// calql surface: over an indexed corpus, every execution mode with index
+// pruning enabled renders byte-identical output to a full scan — including
+// ORDER BY, LIMIT, SELECT *, and non-prunable WHERE clauses.
+func TestIndexSmoke(t *testing.T) {
+	files := indexedFiles(t, 6)
+	queries := []string{
+		"AGGREGATE sum(aggregate.count), sum(sum#time.duration) GROUP BY kernel",
+		"AGGREGATE sum(aggregate.count) WHERE mpi.rank = 2 GROUP BY kernel",
+		"AGGREGATE sum(aggregate.count) WHERE mpi.rank > 3 GROUP BY kernel, mpi.rank",
+		"AGGREGATE count WHERE kernel = advec GROUP BY mpi.rank",
+		"AGGREGATE sum(aggregate.count) WHERE not(kernel = advec) GROUP BY kernel",
+		"AGGREGATE sum(aggregate.count) GROUP BY kernel ORDER BY sum#aggregate.count DESC LIMIT 2",
+		"SELECT kernel, sum#aggregate.count AS n AGGREGATE sum(aggregate.count) GROUP BY kernel ORDER BY n FORMAT csv",
+		"SELECT * WHERE kernel = pdv FORMAT json",
+		"AGGREGATE sum(aggregate.count) WHERE mpi.rank = 99 GROUP BY kernel",
+	}
+	for _, q := range queries {
+		full, err := QueryFilesOpt(q, files, Options{NoIndex: true})
+		if err != nil {
+			t.Fatalf("fullscan %q: %v", q, err)
+		}
+		want := full.String()
+
+		indexed, err := QueryFilesOpt(q, files, Options{})
+		if err != nil {
+			t.Fatalf("indexed %q: %v", q, err)
+		}
+		if got := indexed.String(); got != want {
+			t.Errorf("serial indexed %q differs from full scan:\n--- full ---\n%s--- indexed ---\n%s", q, want, got)
+		}
+
+		for _, jobs := range []int{3, 6} {
+			sharded, err := QueryFilesJobsOpt(q, files, jobs, Options{})
+			if err != nil {
+				t.Fatalf("jobs=%d %q: %v", jobs, q, err)
+			}
+			if got := sharded.String(); got != want {
+				t.Errorf("jobs=%d indexed %q differs from full scan:\n--- full ---\n%s--- indexed ---\n%s",
+					jobs, q, want, got)
+			}
+		}
+
+		// the MPI-parallel path interleaves selection rows by rank, so its
+		// oracle is the same parallel run with the index disabled
+		parFull, err := QueryFilesParallelOpt(q, files, 3, Options{NoIndex: true})
+		if err != nil {
+			t.Fatalf("parallel fullscan %q: %v", q, err)
+		}
+		par, err := QueryFilesParallelOpt(q, files, 3, Options{})
+		if err != nil {
+			t.Fatalf("parallel %q: %v", q, err)
+		}
+		if got, pwant := par.String(), parFull.String(); got != pwant {
+			t.Errorf("parallel indexed %q differs from parallel full scan:\n--- full ---\n%s--- indexed ---\n%s",
+				q, pwant, got)
+		}
+	}
+}
+
+// TestIndexSmokeExplain checks the surfaced plan: EXPLAIN shows the
+// prunable conditions, EXPLAIN ANALYZE carries measured skip statistics,
+// and NoIndex reports the index as disabled.
+func TestIndexSmokeExplain(t *testing.T) {
+	files := indexedFiles(t, 6)
+	const q = "AGGREGATE sum(aggregate.count) WHERE mpi.rank = 2 GROUP BY kernel"
+
+	out, err := ExplainFilesOpts("EXPLAIN "+q, files, 0, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"-> index", "prune blocks on mpi.rank = 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = ExplainFilesOpts("EXPLAIN ANALYZE "+q, files, 0, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rank=2 lives in exactly one of six files: five are skipped outright
+	for _, want := range []string{"-> index", "files_skipped=5", "indexed=6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN ANALYZE missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = ExplainFilesOpts("EXPLAIN "+q, files, 0, 1, Options{NoIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "disabled (full scan)") {
+		t.Errorf("EXPLAIN with NoIndex should report the index disabled:\n%s", out)
+	}
+}

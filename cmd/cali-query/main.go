@@ -39,6 +39,7 @@ func run(args []string) error {
 	queryText := fs.String("q", "", "query in the aggregation description language (required)")
 	parallel := fs.Int("parallel", 0, "run the MPI-emulated parallel query with this many ranks (0 = serial)")
 	jobs := fs.Int("j", 1, "sharded multi-core execution with this many read+aggregate workers (1 = serial, 0 = one per CPU)")
+	noIndex := fs.Bool("no-index", false, "ignore sidecar block indexes (.cali.idx): no file/block pruning or projection pushdown")
 	showTiming := fs.Bool("timing", false, "print phase timing of the parallel query")
 	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run (to stderr)")
 	traceOut := fs.String("trace", "", "write spans of the run as Chrome trace-event JSON to this file (view in Perfetto)")
@@ -100,7 +101,7 @@ func run(args []string) error {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/ (metrics, queries, log, pprof)\n", srv.Addr())
 	}
-	if err := runQuery(*queryText, files, *parallel, *jobs, *showTiming); err != nil {
+	if err := runQuery(*queryText, files, *parallel, *jobs, *showTiming, calql.Options{NoIndex: *noIndex}); err != nil {
 		return err
 	}
 	if *traceOut != "" {
@@ -120,11 +121,11 @@ func run(args []string) error {
 	return nil
 }
 
-func runQuery(queryText string, files []string, parallel, jobs int, showTiming bool) error {
+func runQuery(queryText string, files []string, parallel, jobs int, showTiming bool, opts calql.Options) error {
 	// EXPLAIN / EXPLAIN ANALYZE statements print the resolved plan instead
 	// of result rows.
 	if q, err := calql.Parse(queryText); err == nil && q.Explain != calql.ExplainNone {
-		out, err := calql.ExplainFilesJobs(queryText, files, parallel, jobs)
+		out, err := calql.ExplainFilesOpts(queryText, files, parallel, jobs, opts)
 		if err != nil {
 			return err
 		}
@@ -133,7 +134,7 @@ func runQuery(queryText string, files []string, parallel, jobs int, showTiming b
 	}
 
 	if parallel > 0 {
-		res, err := calql.QueryFilesParallel(queryText, files, parallel)
+		res, err := calql.QueryFilesParallelOpt(queryText, files, parallel, opts)
 		if err != nil {
 			return err
 		}
@@ -151,14 +152,14 @@ func runQuery(queryText string, files []string, parallel, jobs int, showTiming b
 	}
 
 	if jobs != 1 {
-		res, err := calql.QueryFilesJobs(queryText, files, jobs)
+		res, err := calql.QueryFilesJobsOpt(queryText, files, jobs, opts)
 		if err != nil {
 			return err
 		}
 		return res.Render(os.Stdout)
 	}
 
-	res, err := calql.QueryFiles(queryText, files)
+	res, err := calql.QueryFilesOpt(queryText, files, opts)
 	if err != nil {
 		return err
 	}

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"runtime"
 	"sort"
@@ -39,6 +41,10 @@ type fileStats struct {
 	treeNodes int
 	attrs     map[string]*attrStats
 	globals   int
+	// indexState describes the sidecar block index: "none", a block
+	// summary (stats were served from the index without decoding the
+	// file), "stale (ignored)", "corrupt (ignored)", or "(disabled)".
+	indexState string
 }
 
 type attrStats struct {
@@ -49,6 +55,7 @@ type attrStats struct {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cali-stat", flag.ContinueOnError)
 	combined := fs.Bool("combined", false, "also print totals over all files")
+	noIndex := fs.Bool("no-index", false, "ignore sidecar block indexes and decode every file")
 	jobs := fs.Int("j", 0, "scan this many files in parallel (0 = one per CPU)")
 	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run")
 	traceOut := fs.String("trace", "", "write spans of the run as Chrome trace-event JSON to this file (view in Perfetto)")
@@ -85,7 +92,7 @@ func run(args []string, w io.Writer) error {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(files); i += nw {
-				st, err := statFile(files[i])
+				st, err := statFile(files[i], !*noIndex)
 				if err != nil {
 					errs[i] = fmt.Errorf("%s: %w", files[i], err)
 					continue
@@ -139,10 +146,30 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-func statFile(fn string) (*fileStats, error) {
+// statFile reports one dataset's statistics. With useIndex, a fresh
+// sidecar block index answers without decoding the file (record, entry,
+// tree, and per-attribute counts all live in the index); a missing,
+// stale, or corrupt index falls back to the full decode.
+func statFile(fn string, useIndex bool) (*fileStats, error) {
 	sp := trace.Begin("stat.read")
 	sp.Arg("file", fn)
 	defer sp.End()
+	indexState := "(disabled)"
+	if useIndex {
+		idx, err := calformat.LoadIndex(fn)
+		switch {
+		case err == nil:
+			st := statFromIndex(fn, idx)
+			sp.ArgInt("records", int64(st.records))
+			return st, nil
+		case errors.Is(err, fs.ErrNotExist):
+			indexState = "none"
+		case errors.Is(err, calformat.ErrIndexStale):
+			indexState = "stale (ignored)"
+		default:
+			indexState = "corrupt (ignored)"
+		}
+	}
 	f, err := os.Open(fn)
 	if err != nil {
 		return nil, err
@@ -151,7 +178,7 @@ func statFile(fn string) (*fileStats, error) {
 	reg := attr.NewRegistry()
 	tree := contexttree.New()
 	rd := calformat.NewReader(f, reg, tree)
-	st := &fileStats{name: fn, attrs: map[string]*attrStats{}}
+	st := &fileStats{name: fn, attrs: map[string]*attrStats{}, indexState: indexState}
 	var rec snapshot.FlatRecord // reused across NextInto calls
 	for {
 		err := rd.NextInto(&rec)
@@ -178,10 +205,39 @@ func statFile(fn string) (*fileStats, error) {
 	return st, nil
 }
 
+// statFromIndex builds the report from the sidecar alone. The attribute
+// handles come from a throwaway registry seeded with the index's
+// attribute table, so types and properties print exactly as a decode
+// would show them.
+func statFromIndex(fn string, idx *calformat.Index) *fileStats {
+	reg := attr.NewRegistry()
+	st := &fileStats{
+		name:      fn,
+		records:   int(idx.Records),
+		entries:   int(idx.Entries),
+		treeNodes: int(idx.TreeNodes),
+		globals:   int(idx.Globals),
+		attrs:     map[string]*attrStats{},
+		indexState: fmt.Sprintf("%d blocks (target %d records/block)",
+			len(idx.Blocks), idx.BlockTarget),
+	}
+	for _, ia := range idx.Attrs {
+		a, err := reg.Create(ia.Name, ia.Type, ia.Props)
+		if err != nil {
+			continue
+		}
+		st.attrs[ia.Name] = &attrStats{attr: a, count: int(ia.Entries)}
+	}
+	return st
+}
+
 func printStats(w io.Writer, st *fileStats) {
 	fmt.Fprintf(w, "%s:\n", st.name)
 	fmt.Fprintf(w, "  records: %d   entries: %d   context-tree nodes: %d   globals: %d\n",
 		st.records, st.entries, st.treeNodes, st.globals)
+	if st.indexState != "" {
+		fmt.Fprintf(w, "  index: %s\n", st.indexState)
+	}
 	names := make([]string, 0, len(st.attrs))
 	for n := range st.attrs {
 		names = append(names, n)

@@ -210,6 +210,7 @@ func (m *monitor) render(w *os.File, prev, cur *scrapeState) {
 			rate(prev, cur, "caligo_rnet_epochs"), pending,
 			humanNS(value(cur, "caligo_rnet_sync_lag_ns")))
 	}
+	renderIndexLine(w, cur)
 	fmt.Fprintln(w)
 	m.renderQueryTable(w, cur)
 }
@@ -248,8 +249,26 @@ func (m *monitor) renderOnce(w *os.File, cur *scrapeState) {
 			value(cur, "caligo_rnet_epochs"), pending,
 			humanNS(value(cur, "caligo_rnet_sync_lag_ns")))
 	}
+	renderIndexLine(w, cur)
 	fmt.Fprintln(w)
 	m.renderQueryTable(w, cur)
+}
+
+// renderIndexLine prints sidecar-index scan-pruning totals when any
+// indexed scan has run (all counters zero → the line is omitted).
+func renderIndexLine(w *os.File, cur *scrapeState) {
+	indexed := value(cur, "caligo_index_files_indexed")
+	fallbacks := value(cur, "caligo_index_fallback")
+	if indexed == 0 && fallbacks == 0 {
+		return
+	}
+	fmt.Fprintf(w, "index    files %6.0f used %6.0f skipped   blocks %8.0f scanned %8.0f pruned   records pruned %12.0f   fallbacks %4.0f\n",
+		indexed,
+		value(cur, "caligo_index_files_skipped"),
+		value(cur, "caligo_index_blocks_scanned"),
+		value(cur, "caligo_index_blocks_pruned"),
+		value(cur, "caligo_index_records_pruned"),
+		fallbacks)
 }
 
 // renderQueryTable prints the recent-queries table and the phase

@@ -28,6 +28,10 @@ func TestCaliTopOnce(t *testing.T) {
 	aq.SetRows(12)
 	aq.End(nil)
 
+	// index pruning counters light up the "index" line
+	telemetry.NewCounter("caligo.index.files.indexed").Add(3)
+	telemetry.NewCounter("caligo.index.blocks.pruned").Add(17)
+
 	srv := httptest.NewServer(caliper.DebugHandler())
 	defer srv.Close()
 
@@ -53,7 +57,7 @@ func TestCaliTopOnce(t *testing.T) {
 	}
 	for _, want := range []string{
 		"cali-top", "queries", "runtime", "sharded", "AGGREGATE count GROUP BY kernel",
-		"single scrape",
+		"single scrape", "index", "pruned",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)

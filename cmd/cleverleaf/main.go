@@ -19,6 +19,7 @@ import (
 
 	"caligo/caliper"
 	"caligo/internal/apps/cleverleaf"
+	"caligo/internal/calformat"
 	"caligo/internal/telemetry"
 	"caligo/internal/trace"
 )
@@ -45,6 +46,7 @@ func run(args []string) error {
 	virtual := fs.Bool("virtual", false, "discrete-event mode (deterministic virtual time)")
 	threads := fs.Int("threads", 1, "worker threads per rank (adds a thread.id dimension)")
 	metrics := fs.Bool("metrics", false, "add the metrics service: write the library's own telemetry into each profile")
+	index := fs.Bool("index", false, "also write sidecar block indexes (<file>.cali.idx) for the per-rank profiles")
 	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run (to stderr)")
 	debugAddr := fs.String("debug", "", "serve the expvar/pprof/telemetry debug endpoint on this address during the run")
 	traceOut := fs.String("trace", "", "write spans of the run as Chrome trace-event JSON to this file (view in Perfetto)")
@@ -129,6 +131,18 @@ func run(args []string) error {
 		totalSnaps += ch.Snapshots()
 		if err := ch.FlushAndWrite(); err != nil {
 			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	if *index {
+		for r := range channels {
+			fn := filepath.Join(*outDir, fmt.Sprintf("rank-%04d.cali", r))
+			idx, err := calformat.BuildFileIndex(fn, calformat.IndexOptions{})
+			if err != nil {
+				return fmt.Errorf("index rank %d: %w", r, err)
+			}
+			if err := calformat.WriteIndexFile(fn, idx); err != nil {
+				return fmt.Errorf("index rank %d: %w", r, err)
+			}
 		}
 	}
 	if *traceOut != "" {

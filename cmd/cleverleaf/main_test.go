@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"caligo/internal/calformat"
 )
 
 func TestRunEventMode(t *testing.T) {
@@ -53,6 +55,24 @@ func TestRunTraceMode(t *testing.T) {
 		"-mode", "trace", "-out", dir})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWithIndex(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	err := run([]string{"-ranks", "2", "-timesteps", "4", "-workscale", "0.05",
+		"-index", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"rank-0000.cali", "rank-0001.cali"} {
+		idx, err := calformat.LoadIndex(filepath.Join(dir, r))
+		if err != nil {
+			t.Fatalf("%s: sidecar index unusable: %v", r, err)
+		}
+		if idx.Records == 0 {
+			t.Errorf("%s: index covers zero records", r)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"caligo/internal/apps/paradis"
+	"caligo/internal/calformat"
 )
 
 func main() {
@@ -32,6 +33,9 @@ func run(args []string) error {
 	kernels := fs.Int("kernels", 0, "kernel regions per file (0 = paper default: 60)")
 	mpifns := fs.Int("mpi", 0, "MPI function regions per file (0 = paper default: 25)")
 	iters := fs.Int("iterations", 0, "time-series iterations (0 = paper default: 25)")
+	single := fs.String("single", "", "write all ranks into one multi-block .cali file at this path instead of one file per rank")
+	index := fs.Bool("index", false, "also write sidecar block indexes (<file>.cali.idx)")
+	block := fs.Int("block", 0, "records per index block (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,7 +49,27 @@ func run(args []string) error {
 	if *iters > 0 {
 		cfg.Iterations = *iters
 	}
-	paths, err := paradis.GenerateDir(*out, *ranks, cfg)
+	iopt := calformat.IndexOptions{BlockRecords: *block}
+	if *single != "" {
+		records, err := paradis.WriteMerged(*single, *ranks, cfg, *index, iopt)
+		if err != nil {
+			return err
+		}
+		indexed := ""
+		if *index {
+			indexed = fmt.Sprintf(", index at %s", calformat.IndexPath(*single))
+		}
+		fmt.Printf("wrote %d ranks (%d records) to %s%s\n", *ranks, records, *single, indexed)
+		fmt.Printf("evaluation query:\n  %s\n", paradis.EvaluationQuery)
+		return nil
+	}
+	var paths []string
+	var err error
+	if *index {
+		paths, err = paradis.GenerateDirIndexed(*out, *ranks, cfg, iopt)
+	} else {
+		paths, err = paradis.GenerateDir(*out, *ranks, cfg)
+	}
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"caligo/internal/apps/paradis"
+	"caligo/internal/calformat"
 )
 
 func TestGenerate(t *testing.T) {
@@ -30,5 +33,43 @@ func TestDefaults(t *testing.T) {
 	fi, err := os.Stat(filepath.Join(dir, "rank-0000.cali"))
 	if err != nil || fi.Size() == 0 {
 		t.Fatalf("default dataset missing: %v", err)
+	}
+}
+
+func TestSingleIndexedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "merged.cali")
+	err := run([]string{"-ranks", "4", "-single", path, "-index", "-block", "32",
+		"-kernels", "4", "-mpi", "2", "-iterations", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := calformat.VerifyIndex(path)
+	if err != nil {
+		t.Fatalf("sidecar index did not verify: %v", err)
+	}
+	cfg := paradis.DefaultConfig()
+	cfg.Kernels, cfg.MPIFunctions, cfg.Iterations = 4, 2, 3
+	wantRecs := 4 * cfg.RecordsPerFile()
+	if int(idx.Records) != wantRecs {
+		t.Errorf("index records = %d, want %d", idx.Records, wantRecs)
+	}
+	if len(idx.Blocks) < 3 {
+		t.Errorf("blocks = %d, want multiple 32-record blocks", len(idx.Blocks))
+	}
+	if idx.BlockTarget != 32 {
+		t.Errorf("block target = %d, want 32", idx.BlockTarget)
+	}
+}
+
+func TestPerRankIndexes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := run([]string{"-ranks", "2", "-out", dir, "-index",
+		"-kernels", "2", "-mpi", "1", "-iterations", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"rank-0000.cali", "rank-0001.cali"} {
+		if _, err := calformat.LoadIndex(filepath.Join(dir, r)); err != nil {
+			t.Errorf("%s: %v", r, err)
+		}
 	}
 }

@@ -108,24 +108,57 @@ func hash64(x uint64) uint64 {
 	return x
 }
 
+// recordWriter is the writer subset the generator needs; calformat.Writer
+// and calformat.IndexingWriter both satisfy it.
+type recordWriter interface {
+	WriteRecord(rec snapshot.Record) error
+}
+
+// dataset holds the registry, context tree, and attribute handles shared
+// by the records of one output stream (one file, or all ranks of a merged
+// file).
+type dataset struct {
+	reg  *attr.Registry
+	tree *contexttree.Tree
+
+	kernel, mpifn, rankA, iterA, phase, count, dur attr.Attribute
+}
+
+func newDataset() *dataset {
+	reg := attr.NewRegistry()
+	return &dataset{
+		reg:    reg,
+		tree:   contexttree.New(),
+		kernel: reg.MustCreate("kernel", attr.String, attr.Nested),
+		mpifn:  reg.MustCreate("mpi.function", attr.String, attr.Nested),
+		rankA:  reg.MustCreate("mpi.rank", attr.Int, 0),
+		iterA:  reg.MustCreate("iteration", attr.Int, 0),
+		phase:  reg.MustCreate("phase", attr.String, attr.Nested),
+		count: reg.MustCreate("aggregate.count", attr.Uint,
+			attr.AsValue|attr.Aggregatable|attr.SkipEvents),
+		dur: reg.MustCreate("sum#time.duration", attr.Int,
+			attr.AsValue|attr.Aggregatable|attr.SkipEvents),
+	}
+}
+
 // WriteRank writes one rank's dataset as a .cali stream.
 func WriteRank(w io.Writer, rank int, cfg Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	reg := attr.NewRegistry()
-	tree := contexttree.New()
-	kernel := reg.MustCreate("kernel", attr.String, attr.Nested)
-	mpifn := reg.MustCreate("mpi.function", attr.String, attr.Nested)
-	rankA := reg.MustCreate("mpi.rank", attr.Int, 0)
-	iterA := reg.MustCreate("iteration", attr.Int, 0)
-	phase := reg.MustCreate("phase", attr.String, attr.Nested)
-	count := reg.MustCreate("aggregate.count", attr.Uint,
-		attr.AsValue|attr.Aggregatable|attr.SkipEvents)
-	dur := reg.MustCreate("sum#time.duration", attr.Int,
-		attr.AsValue|attr.Aggregatable|attr.SkipEvents)
+	d := newDataset()
+	cw := calformat.NewWriter(w, d.reg, d.tree)
+	if err := d.writeRank(cw, rank, cfg); err != nil {
+		return err
+	}
+	return cw.Flush()
+}
 
-	cw := calformat.NewWriter(w, reg, tree)
+// writeRank emits one rank's records through cw.
+func (d *dataset) writeRank(cw recordWriter, rank int, cfg Config) error {
+	kernel, mpifn, rankA, iterA := d.kernel, d.mpifn, d.rankA, d.iterA
+	phase, count, dur := d.phase, d.count, d.dur
+	tree := d.tree
 	rankNode := tree.GetChild(contexttree.InvalidNode, rankA, attr.IntV(int64(rank)))
 
 	// initialization-phase records
@@ -167,12 +200,22 @@ func WriteRank(w io.Writer, rank int, cfg Config) error {
 			}
 		}
 	}
-	return cw.Flush()
+	return nil
 }
 
 // GenerateDir writes per-rank dataset files rank-<n>.cali into dir and
 // returns their paths in rank order.
 func GenerateDir(dir string, ranks int, cfg Config) ([]string, error) {
+	return generateDir(dir, ranks, cfg, false, calformat.IndexOptions{})
+}
+
+// GenerateDirIndexed is GenerateDir writing a sidecar block index
+// (<file>.cali.idx) next to every dataset file.
+func GenerateDirIndexed(dir string, ranks int, cfg Config, opt calformat.IndexOptions) ([]string, error) {
+	return generateDir(dir, ranks, cfg, true, opt)
+}
+
+func generateDir(dir string, ranks int, cfg Config, buildIndex bool, opt calformat.IndexOptions) ([]string, error) {
 	if ranks <= 0 {
 		return nil, fmt.Errorf("paradis: ranks must be positive")
 	}
@@ -182,20 +225,98 @@ func GenerateDir(dir string, ranks int, cfg Config) ([]string, error) {
 	paths := make([]string, ranks)
 	for r := 0; r < ranks; r++ {
 		p := filepath.Join(dir, fmt.Sprintf("rank-%04d.cali", r))
-		f, err := os.Create(p)
-		if err != nil {
-			return nil, err
-		}
-		if err := WriteRank(f, r, cfg); err != nil {
-			f.Close()
-			return nil, err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeRankFile(p, r, cfg, buildIndex, opt); err != nil {
 			return nil, err
 		}
 		paths[r] = p
 	}
 	return paths, nil
+}
+
+func writeRankFile(path string, rank int, cfg Config, buildIndex bool, opt calformat.IndexOptions) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if !buildIndex {
+		if err := WriteRank(f, rank, cfg); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	d := newDataset()
+	iw := calformat.NewIndexingWriter(f, d.reg, d.tree, opt)
+	if err := d.writeRank(iw, rank, cfg); err != nil {
+		f.Close()
+		return err
+	}
+	idx, err := iw.Finish()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return calformat.WriteIndexFile(path, idx)
+}
+
+// WriteMerged writes all ranks into a single multi-block .cali file at
+// path — the "one big file" shape that exercises intra-file parallel
+// scans — with a sidecar block index when buildIndex is set. One registry
+// and context tree span the whole stream, so definitions are shared
+// across ranks exactly as a merged capture would share them.
+func WriteMerged(path string, ranks int, cfg Config, buildIndex bool, opt calformat.IndexOptions) (int, error) {
+	if ranks <= 0 {
+		return 0, fmt.Errorf("paradis: ranks must be positive")
+	}
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	d := newDataset()
+	var cw recordWriter
+	var iw *calformat.IndexingWriter
+	var pw *calformat.Writer
+	if buildIndex {
+		iw = calformat.NewIndexingWriter(f, d.reg, d.tree, opt)
+		cw = iw
+	} else {
+		pw = calformat.NewWriter(f, d.reg, d.tree)
+		cw = pw
+	}
+	for r := 0; r < ranks; r++ {
+		if err := d.writeRank(cw, r, cfg); err != nil {
+			f.Close()
+			return 0, err
+		}
+	}
+	var idx *calformat.Index
+	if buildIndex {
+		if idx, err = iw.Finish(); err != nil {
+			f.Close()
+			return 0, err
+		}
+	} else if err := pw.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if buildIndex {
+		if err := calformat.WriteIndexFile(path, idx); err != nil {
+			return 0, err
+		}
+	}
+	return ranks * cfg.RecordsPerFile(), nil
 }
 
 // EvaluationQuery is the query the paper's scalability experiment runs:

@@ -80,6 +80,11 @@ type Writer struct {
 	tree      *contexttree.Tree
 	wroteAttr map[attr.ID]bool
 	wroteNode map[contexttree.NodeID]bool
+
+	// metaLines counts the metadata lines (attr, node, globals) written so
+	// far. The block-aware IndexingWriter reads it to record which blocks
+	// a reader can skip without a metadata scan (see index.go).
+	metaLines int
 }
 
 // NewWriter returns a Writer resolving attributes through reg and node
@@ -103,6 +108,7 @@ func (w *Writer) ensureAttr(a attr.Attribute) error {
 	n, err := fmt.Fprintf(w.w, "__rec=attr,id=%d,name=%s,type=%s,prop=%s\n",
 		a.ID(), escape(a.Name()), a.Type(), escape(a.Properties().String()))
 	telBytesWritten.Add(uint64(n))
+	w.metaLines++
 	return err
 }
 
@@ -134,6 +140,7 @@ func (w *Writer) ensureNode(n contexttree.NodeID) error {
 	written, err := fmt.Fprintf(w.w, "__rec=node,id=%d,attr=%d,data=%s,parent=%s\n",
 		n, aid, escape(val.String()), parentStr)
 	telBytesWritten.Add(uint64(written))
+	w.metaLines++
 	return err
 }
 
@@ -203,6 +210,7 @@ func (w *Writer) WriteGlobals(entries []attr.Entry) error {
 		n, err := fmt.Fprintf(w.w, "__rec=globals,attr=%d,data=%s\n",
 			e.Attr.ID(), escape(e.Value.String()))
 		telBytesWritten.Add(uint64(n))
+		w.metaLines++
 		if err != nil {
 			return err
 		}

@@ -84,13 +84,18 @@ func unescapeAppend(dst, src []byte) []byte {
 // Reader is not safe for concurrent use.
 type Reader struct {
 	sc       *bufio.Scanner
+	src      io.Reader
+	seeker   io.Seeker // src if it supports seeking, else nil
 	reg      *attr.Registry
 	tree     *contexttree.Tree
 	attrMap  map[int64]attr.Attribute
 	nodeMap  map[int64]contexttree.NodeID
 	globals  []attr.Entry
 	line     int
-	consumed int // exact bytes of input consumed by the last scanned token
+	consumed int   // exact bytes of input consumed by the last scanned token
+	offset   int64 // absolute stream offset after the last scanned token
+	limit    int64 // NextInto stops (io.EOF) at this offset; 0 = none
+	metaSeen int   // metadata lines (attr/node/globals) processed so far
 
 	// Reused per-record decode state. None of it escapes a NextInto call
 	// except through explicit copies (interning, record entries).
@@ -100,25 +105,50 @@ type Reader struct {
 	dataElems  []listElem
 	scratch    []byte // unescaped value bytes (one value live at a time)
 	keyScratch []byte // unescaped key bytes for findField comparisons
+	scanBuf    []byte // scanner buffer, kept so SkipTo can rebuild without realloc
 	interned   map[string]string
-	pathCache  map[contexttree.NodeID][]attr.Entry
+	pathCache  map[contexttree.NodeID]cachedPath
+
+	// Projection pushdown (SetProjection): entries of attributes outside
+	// keep are dropped during decode instead of materialized.
+	keep map[string]bool
+	drop map[int64]bool // stream-local ids of attrs outside keep
+}
+
+// cachedPath is a cached expanded node path, pre-filtered by the active
+// projection; dropped counts the entries the projection removed from it.
+type cachedPath struct {
+	entries []attr.Entry
+	full    int // entry count before projection
 }
 
 // NewReader returns a Reader merging stream contents into reg and tree.
 func NewReader(rd io.Reader, reg *attr.Registry, tree *contexttree.Tree) *Reader {
 	r := &Reader{
+		src:       rd,
 		reg:       reg,
 		tree:      tree,
 		attrMap:   map[int64]attr.Attribute{},
 		nodeMap:   map[int64]contexttree.NodeID{},
 		interned:  map[string]string{},
-		pathCache: map[contexttree.NodeID][]attr.Entry{},
+		pathCache: map[contexttree.NodeID]cachedPath{},
 	}
-	sc := bufio.NewScanner(rd)
-	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if s, ok := rd.(io.Seeker); ok {
+		r.seeker = s
+	}
+	r.scanBuf = make([]byte, 64*1024)
+	r.newScanner()
+	return r
+}
+
+// newScanner (re)builds the line scanner over src, reusing the kept
+// buffer. Called at construction and after every SkipTo seek (a
+// bufio.Scanner cannot reposition once it has buffered input).
+func (r *Reader) newScanner() {
+	sc := bufio.NewScanner(r.src)
+	sc.Buffer(r.scanBuf, 16*1024*1024)
 	sc.Split(r.scanLine)
 	r.sc = sc
-	return r
 }
 
 // scanLine is a bufio.SplitFunc that, unlike bufio.ScanLines, records the
@@ -140,6 +170,114 @@ func (r *Reader) scanLine(data []byte, atEOF bool) (int, []byte, error) {
 
 // Globals returns the metadata entries read so far.
 func (r *Reader) Globals() []attr.Entry { return r.globals }
+
+// Offset returns the absolute stream offset after the last line consumed.
+// Lines land on exact block boundaries (index.go), so this is the anchor
+// for block-range scans.
+func (r *Reader) Offset() int64 { return r.offset }
+
+// MetaLines returns the count of metadata lines (attr, node, globals)
+// processed so far. The standalone indexer samples it at block boundaries
+// to record which blocks can be seek-skipped outright.
+func (r *Reader) MetaLines() int { return r.metaSeen }
+
+// SetLimit makes NextInto report io.EOF once the stream offset reaches
+// off, without consuming past it. Zero clears the limit. Used to stop a
+// full scan at a block boundary so the next block can be skipped.
+func (r *Reader) SetLimit(off int64) { r.limit = off }
+
+// SkipTo repositions the stream at absolute offset off (a block boundary
+// from the index) without reading the skipped bytes. It requires a
+// seekable source and only moves forward.
+func (r *Reader) SkipTo(off int64) error {
+	if r.seeker == nil {
+		return fmt.Errorf("calformat: SkipTo: source is not seekable")
+	}
+	if off < r.offset {
+		return fmt.Errorf("calformat: SkipTo: cannot seek backwards (%d < %d)", off, r.offset)
+	}
+	if off == r.offset {
+		return nil
+	}
+	if _, err := r.seeker.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	r.offset = off
+	r.newScanner()
+	return nil
+}
+
+// ScanMetaUntil consumes lines up to absolute offset limit, processing
+// only metadata (attr, node, globals) and skipping snapshot records
+// without decoding them. It is the cheap way to pass over a pruned block
+// whose metadata later blocks may depend on. The limit must be a line
+// boundary (it is, when it comes from the index).
+func (r *Reader) ScanMetaUntil(limit int64) error {
+	for r.offset < limit {
+		if !r.sc.Scan() {
+			if err := r.sc.Err(); err != nil {
+				return err
+			}
+			return io.ErrUnexpectedEOF
+		}
+		r.line++
+		r.offset += int64(r.consumed)
+		telBytesRead.Add(uint64(r.consumed))
+		line := r.sc.Bytes()
+		for len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) == 0 {
+			continue
+		}
+		if err := r.scanFields(line); err != nil {
+			return r.errf("%v", err)
+		}
+		kind, _, _ := r.findField(line, "__rec")
+		switch string(kind) {
+		case "attr":
+			if err := r.readAttrLine(line); err != nil {
+				return err
+			}
+			r.metaSeen++
+		case "node":
+			if err := r.readNodeLine(line); err != nil {
+				return err
+			}
+			r.metaSeen++
+		case "globals":
+			e, err := r.readEntryLine(line)
+			if err != nil {
+				return err
+			}
+			r.globals = append(r.globals, e)
+			r.metaSeen++
+		case "ctx":
+			// pruned record: skip without decoding
+		case "":
+			return r.errf("record without __rec field")
+		default:
+			// unknown record kinds are skipped for forward compatibility
+		}
+	}
+	if r.offset != limit {
+		return fmt.Errorf("calformat: block boundary %d is not a line boundary (at %d)", limit, r.offset)
+	}
+	return nil
+}
+
+// SetProjection restricts decoding to the named attributes: entries of
+// any other attribute are validated but not materialized into the
+// records NextInto returns. nil restores full decoding. Must be set
+// before reading begins (the path cache is projection-specific).
+func (r *Reader) SetProjection(keep map[string]bool) {
+	r.keep = keep
+	r.drop = nil
+	if keep != nil {
+		r.drop = map[int64]bool{}
+	}
+	clear(r.pathCache)
+}
 
 func (r *Reader) errf(format string, args ...any) error {
 	telDecodeErrors.Inc()
@@ -189,17 +327,28 @@ func (r *Reader) parseValue(b []byte, t attr.Type) (attr.Variant, error) {
 // pathOf returns the expanded root-first entry path of a context tree
 // node, cached per node: repeated refs to the same node (the common case
 // — every record names its full context) cost one map hit instead of a
-// fresh slice.
-func (r *Reader) pathOf(n contexttree.NodeID) ([]attr.Entry, error) {
+// fresh slice. Under an active projection the cached path is stored
+// pre-filtered, with the original length kept for empty-record checks.
+func (r *Reader) pathOf(n contexttree.NodeID) (cachedPath, error) {
 	if p, ok := r.pathCache[n]; ok {
 		return p, nil
 	}
 	p, err := r.tree.Path(n, r.reg)
 	if err != nil {
-		return nil, err
+		return cachedPath{}, err
 	}
-	r.pathCache[n] = p
-	return p, nil
+	cp := cachedPath{entries: p, full: len(p)}
+	if r.keep != nil {
+		kept := p[:0]
+		for _, e := range p {
+			if r.keep[e.Attr.Name()] {
+				kept = append(kept, e)
+			}
+		}
+		cp.entries = kept
+	}
+	r.pathCache[n] = cp
+	return cp, nil
 }
 
 // scanFields splits line into key=value spans in r.fields. Escape
@@ -296,8 +445,15 @@ func splitListSpans(dst []listElem, raw []byte) []listElem {
 // last record.
 func (r *Reader) NextInto(dst *snapshot.FlatRecord) error {
 	*dst = (*dst)[:0]
-	for r.sc.Scan() {
+	for {
+		if r.limit > 0 && r.offset >= r.limit {
+			return io.EOF
+		}
+		if !r.sc.Scan() {
+			break
+		}
 		r.line++
+		r.offset += int64(r.consumed)
 		telBytesRead.Add(uint64(r.consumed))
 		line := r.sc.Bytes()
 		for len(line) > 0 && line[len(line)-1] == '\r' {
@@ -318,16 +474,19 @@ func (r *Reader) NextInto(dst *snapshot.FlatRecord) error {
 			if err := r.readAttrLine(line); err != nil {
 				return err
 			}
+			r.metaSeen++
 		case "node":
 			if err := r.readNodeLine(line); err != nil {
 				return err
 			}
+			r.metaSeen++
 		case "globals":
 			e, err := r.readEntryLine(line)
 			if err != nil {
 				return err
 			}
 			r.globals = append(r.globals, e)
+			r.metaSeen++
 		case "ctx":
 			if err := r.readCtxLine(line, dst); err != nil {
 				return err
@@ -398,6 +557,13 @@ func (r *Reader) readAttrLine(line []byte) error {
 		return r.errf("attr record: %v", err)
 	}
 	r.attrMap[id] = a
+	if r.drop != nil {
+		if r.keep[a.Name()] {
+			delete(r.drop, id)
+		} else {
+			r.drop[id] = true
+		}
+	}
 	return nil
 }
 
@@ -455,6 +621,11 @@ func (r *Reader) readEntryLine(line []byte) (attr.Entry, error) {
 }
 
 func (r *Reader) readCtxLine(line []byte, dst *snapshot.FlatRecord) error {
+	// full counts entries before projection: the empty-record check must
+	// see the record as written, not as projected (a record whose every
+	// entry is projected away is still a record — AGGREGATE count counts
+	// it — so it is returned empty rather than rejected).
+	full := 0
 	refRaw, _, _ := r.findField(line, "ref")
 	r.refElems = splitListSpans(r.refElems[:0], refRaw)
 	for _, e := range r.refElems {
@@ -471,7 +642,8 @@ func (r *Reader) readCtxLine(line []byte, dst *snapshot.FlatRecord) error {
 		if err != nil {
 			return r.errf("ctx record: %v", err)
 		}
-		*dst = append(*dst, path...)
+		*dst = append(*dst, path.entries...)
+		full += path.full
 	}
 	attrRaw, _, hasAttr := r.findField(line, "attr")
 	dataRaw, _, hasData := r.findField(line, "data")
@@ -506,14 +678,29 @@ func (r *Reader) readCtxLine(line []byte, dst *snapshot.FlatRecord) error {
 			de := r.dataElems[i]
 			db = r.unescaped(dataRaw[de.lo:de.hi], de.esc)
 		}
+		full++
+		if r.drop != nil && r.drop[aid] {
+			// projected out: still validate non-string values so error
+			// behavior matches the unprojected scan byte for byte
+			// (string parsing cannot fail, so skip its intern copy)
+			if a.Type() != attr.String {
+				if _, err := attr.ParseAs(bstr(db), a.Type()); err != nil {
+					return r.errf("ctx record: %v", err)
+				}
+			}
+			continue
+		}
 		v, err := r.parseValue(db, a.Type())
 		if err != nil {
 			return r.errf("ctx record: %v", err)
 		}
 		*dst = append(*dst, attr.Entry{Attr: a, Value: v})
 	}
-	if len(*dst) == 0 {
+	if full == 0 {
 		return r.errf("ctx record: empty record")
+	}
+	if n := full - len(*dst); n > 0 {
+		telProjDropped.Add(uint64(n))
 	}
 	return nil
 }

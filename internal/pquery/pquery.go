@@ -66,6 +66,22 @@ type Result struct {
 // .cali stream data. Returning a nil reader means the rank has no input.
 type InputProvider func(rank int) (io.ReadCloser, error)
 
+// FilesProvider supplies the .cali file paths assigned to one rank. An
+// empty slice means the rank has no input. File-based input goes through
+// the index-aware scan layer: sidecar block indexes prune files and
+// blocks the query cannot match and projection pushdown trims decoding.
+type FilesProvider func(rank int) []string
+
+// rankInput selects a rank's input source: exactly one of provider or
+// files is set. plan is shared across ranks (its stats are
+// mutex-protected); each rank still owns a private registry and tree.
+type rankInput struct {
+	provider InputProvider
+	files    FilesProvider
+	opts     query.ScanOptions
+	plan     *query.ScanPlan
+}
+
 // reduceFanin is the tree arity; the paper uses a binary ("logarithmic")
 // reduction. RunFanin exposes other arities for the ablation bench.
 const defaultFanin = 2
@@ -103,6 +119,17 @@ func RunFanin(world *mpi.World, queryText string, provider InputProvider, fanin 
 // correlate with the slow-query log. fanin <= 0 selects the default
 // binary tree.
 func RunObs(world *mpi.World, queryText string, provider InputProvider, fanin int, aq *obs.ActiveQuery) (*Result, error) {
+	return run(world, queryText, rankInput{provider: provider}, fanin, aq)
+}
+
+// RunFilesObs is RunObs with file-path input: each rank scans its files
+// through the index-aware scan layer (opts controls index use), so
+// indexed files get block pruning and projection pushdown on every rank.
+func RunFilesObs(world *mpi.World, queryText string, files FilesProvider, fanin int, aq *obs.ActiveQuery, opts query.ScanOptions) (*Result, error) {
+	return run(world, queryText, rankInput{files: files, opts: opts}, fanin, aq)
+}
+
+func run(world *mpi.World, queryText string, in rankInput, fanin int, aq *obs.ActiveQuery) (*Result, error) {
 	if fanin <= 0 {
 		fanin = defaultFanin
 	}
@@ -110,10 +137,13 @@ func RunObs(world *mpi.World, queryText string, provider InputProvider, fanin in
 	if err != nil {
 		return nil, err
 	}
+	if in.files != nil {
+		in.plan = query.NewScanPlan(q, in.opts)
+	}
 	var result *Result
 	start := time.Now()
 	err = world.Run(func(c *mpi.Comm) error {
-		res, err := runRank(c, q, provider, fanin, aq)
+		res, err := runRank(c, q, in, fanin, aq)
 		if err != nil {
 			return err
 		}
@@ -133,7 +163,7 @@ func RunObs(world *mpi.World, queryText string, provider InputProvider, fanin in
 }
 
 // runRank is the per-rank program: local aggregation, then tree reduce.
-func runRank(c *mpi.Comm, q *calql.Query, provider InputProvider, fanin int, aq *obs.ActiveQuery) (*Result, error) {
+func runRank(c *mpi.Comm, q *calql.Query, input rankInput, fanin int, aq *obs.ActiveQuery) (*Result, error) {
 	// Each rank has its own registry and context tree — per-process
 	// address spaces, as in the real tool.
 	reg := attr.NewRegistry()
@@ -149,11 +179,44 @@ func runRank(c *mpi.Comm, q *calql.Query, provider InputProvider, fanin int, aq 
 	// same per-rank phase structure.
 	localStart := time.Now()
 	var processed uint64
-	in, err := provider(c.Rank())
+	qid := aq.ID()
+	if input.files != nil {
+		if fl := input.files(c.Rank()); len(fl) > 0 {
+			rsp := trace.BeginRank("pquery.read", c.Rank())
+			asp := trace.BeginRank("pquery.aggregate", c.Rank())
+			if qid != 0 {
+				rsp.ArgInt("qid", int64(qid))
+				asp.ArgInt("qid", int64(qid))
+			}
+			n, nb, err := input.plan.ScanFiles(eng, fl, reg, tree)
+			if err != nil {
+				asp.End()
+				rsp.End()
+				return nil, fmt.Errorf("rank %d: read input: %w", c.Rank(), err)
+			}
+			processed = uint64(n)
+			asp.ArgInt("records_in", int64(n))
+			asp.ArgInt("records_out", int64(eng.Size()))
+			asp.End()
+			rsp.ArgInt("records", int64(n))
+			rsp.ArgInt("bytes", nb)
+			rsp.End()
+			aq.AddRecords(processed)
+			aq.AddBytes(uint64(nb))
+		} else {
+			// No local input: still emit the aggregate phase so every rank
+			// reports the same span set.
+			asp := trace.BeginRank("pquery.aggregate", c.Rank())
+			asp.ArgInt("records_in", 0)
+			asp.ArgInt("records_out", int64(eng.Size()))
+			asp.End()
+		}
+		return finishRank(c, q, eng, reg, fanin, localStart, processed, qid)
+	}
+	in, err := input.provider(c.Rank())
 	if err != nil {
 		return nil, fmt.Errorf("rank %d: open input: %w", c.Rank(), err)
 	}
-	qid := aq.ID()
 	if in != nil {
 		rsp := trace.BeginRank("pquery.read", c.Rank())
 		asp := trace.BeginRank("pquery.aggregate", c.Rank())
@@ -202,6 +265,13 @@ func runRank(c *mpi.Comm, q *calql.Query, provider InputProvider, fanin int, aq 
 		asp.ArgInt("records_out", int64(eng.Size()))
 		asp.End()
 	}
+	return finishRank(c, q, eng, reg, fanin, localStart, processed, qid)
+}
+
+// finishRank closes a rank's local phase (wall/virtual clocks, telemetry)
+// and runs the cross-rank combination step.
+func finishRank(c *mpi.Comm, q *calql.Query, eng *query.Engine, reg *attr.Registry,
+	fanin int, localStart time.Time, processed, qid uint64) (*Result, error) {
 	localWall := time.Since(localStart)
 	telRecords.Add(processed)
 	telLocalNS.Observe(localWall.Nanoseconds())

@@ -26,6 +26,9 @@ type PlanOptions struct {
 	// Jobs is the sharded-execution worker count; values > 1 select the
 	// in-process multi-core path (ignored when Ranks > 0).
 	Jobs int
+	// UseIndex marks index-aware scanning (sidecar block indexes consulted
+	// for file/block pruning and projection pushdown).
+	UseIndex bool
 }
 
 // PlanStat is one measured quantity attributed to a plan node, summed
@@ -83,6 +86,24 @@ func BuildPlan(q *calql.Query, opts PlanOptions) (*Plan, error) {
 		p.Execution = fmt.Sprintf("parallel (%d ranks, fan-in %d reduction tree)", opts.Ranks, fanin)
 	} else if sharded {
 		p.Execution = fmt.Sprintf("sharded (%d parallel workers, pairwise DB merge)", opts.Jobs)
+	}
+
+	if opts.UseIndex {
+		sp := NewScanPlan(inner, ScanOptions{UseIndex: true})
+		var parts []string
+		if conds := sp.PrunableConds(); len(conds) > 0 {
+			parts = append(parts, "prune blocks on "+strings.Join(conds, ", "))
+		} else {
+			parts = append(parts, "no prunable conditions")
+		}
+		if proj := sp.Projection(); proj != nil {
+			parts = append(parts, fmt.Sprintf("decode %d attrs: %s", len(proj), strings.Join(proj, ", ")))
+		} else {
+			parts = append(parts, "full decode")
+		}
+		p.add("index", strings.Join(parts, "; "))
+	} else {
+		p.add("index", "disabled (full scan)")
 	}
 
 	switch {

@@ -13,7 +13,7 @@ func TestBuildPlanSerial(t *testing.T) {
 	q := calql.MustParse("EXPLAIN LET ms = scale(time.duration, 0.001) " +
 		"AGGREGATE count, sum(ms) WHERE kernel=advec GROUP BY function " +
 		"ORDER BY count DESC FORMAT csv LIMIT 10")
-	p, err := BuildPlan(q, PlanOptions{Inputs: 3})
+	p, err := BuildPlan(q, PlanOptions{Inputs: 3, UseIndex: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func TestBuildPlanSerial(t *testing.T) {
 	for i, n := range p.Nodes {
 		phases[i] = n.Phase
 	}
-	want := []string{"read", "let", "where", "aggregate", "reduce", "postprocess", "format"}
+	want := []string{"index", "read", "let", "where", "aggregate", "reduce", "postprocess", "format"}
 	if strings.Join(phases, " ") != strings.Join(want, " ") {
 		t.Errorf("phases = %v, want %v", phases, want)
 	}
@@ -36,7 +36,8 @@ func TestBuildPlanSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, needle := range []string{"EXPLAIN", "serial", "3 input files", "GROUP BY function", "csv", "LIMIT 10"} {
+	for _, needle := range []string{"EXPLAIN", "serial", "3 input files", "GROUP BY function", "csv", "LIMIT 10",
+		"prune blocks on kernel = advec"} {
 		if !strings.Contains(out, needle) {
 			t.Errorf("plan output missing %q:\n%s", needle, out)
 		}

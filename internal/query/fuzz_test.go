@@ -1,0 +1,77 @@
+package query
+
+import (
+	"strconv"
+	"testing"
+
+	"caligo/internal/attr"
+	"caligo/internal/snapshot"
+)
+
+// fuzzQueries is the WHERE/shape matrix the differential fuzzer draws
+// from: numeric and string conditions on every comparison operator,
+// negation, existence, projection-active aggregations, and raw-record
+// paths with ORDER BY/LIMIT.
+var fuzzQueries = []string{
+	"SELECT *",
+	"SELECT * WHERE mpi.rank = 2",
+	"SELECT * WHERE time.duration > 500 ORDER BY time.duration DESC LIMIT 7",
+	"SELECT * WHERE kernel = advec",
+	"SELECT * WHERE NOT(kernel = advec)",
+	"SELECT * WHERE kernel",
+	"AGGREGATE count GROUP BY kernel ORDER BY kernel",
+	"AGGREGATE count, sum(time.duration) WHERE mpi.rank <= 1 GROUP BY kernel ORDER BY kernel",
+	"AGGREGATE count WHERE time.duration < 100 GROUP BY mpi.rank ORDER BY mpi.rank",
+	"AGGREGATE min(time.duration), max(time.duration) WHERE time.duration >= 900 GROUP BY kernel ORDER BY kernel",
+	"AGGREGATE count WHERE kernel != pdv GROUP BY kernel ORDER BY kernel",
+	"AGGREGATE count WHERE kernel < flux GROUP BY kernel ORDER BY kernel",
+	"LET ms = scale(time.duration, 0.5) AGGREGATE sum(ms) WHERE ms > 100 GROUP BY kernel ORDER BY kernel",
+	"AGGREGATE count WHERE mpi.rank = 11 GROUP BY kernel",
+	"AGGREGATE avg(time.duration) GROUP BY mpi.rank ORDER BY mpi.rank",
+}
+
+// FuzzIndexedQueryDiff is the index-layer differential oracle: random
+// record populations written at random block sizes must produce
+// byte-identical query output with and without the sidecar index, at
+// serial and sharded worker counts. Any divergence means unsound pruning,
+// projection, or block navigation.
+func FuzzIndexedQueryDiff(f *testing.F) {
+	f.Add(uint16(50), uint16(8), uint16(1), uint16(0))
+	f.Add(uint16(200), uint16(3), uint16(2), uint16(12345))
+	f.Add(uint16(7), uint16(1), uint16(7), uint16(999))
+	f.Add(uint16(300), uint16(64), uint16(12), uint16(7))
+	f.Add(uint16(129), uint16(16), uint16(9), uint16(54321))
+	f.Fuzz(func(t *testing.T, nRecs, blockRecs, qsel, seed uint16) {
+		n := int(nRecs)%512 + 1
+		block := int(blockRecs)%64 + 1
+		qt := fuzzQueries[int(qsel)%len(fuzzQueries)]
+		fx := newFixture(t)
+		kernels := []string{"advec", "pdv", "flux", "calc-dt"}
+		recs := make([]snapshot.FlatRecord, n)
+		for i := range recs {
+			h := uint32(i)*2654435761 + uint32(seed)
+			var r snapshot.FlatRecord
+			if h%7 != 3 { // some records miss the kernel attribute
+				r = append(r, attr.Entry{Attr: fx.kernel, Value: attr.StringV(kernels[h%4])})
+			}
+			if h%5 != 2 { // and some miss the rank
+				r = append(r, attr.Entry{Attr: fx.rank, Value: attr.IntV(int64(h % 13))})
+			}
+			r = append(r, attr.Entry{Attr: fx.dur, Value: attr.IntV(int64(h%2000) - 500)})
+			recs[i] = r
+		}
+		dir := t.TempDir()
+		files := []string{
+			writeIndexedFile(t, dir, "a.cali", fx.reg, recs[:n/2], block),
+			writeIndexedFile(t, dir, "b.cali", fx.reg, recs[n/2:], block),
+		}
+		for _, jobs := range []int{1, 4} {
+			want, _ := runRows(t, qt, files, jobs, ScanOptions{})
+			got, _ := runRows(t, qt, files, jobs, ScanOptions{UseIndex: true})
+			if got != want {
+				t.Errorf("n=%d block=%d jobs=%s query %q: indexed output differs\nindexed:\n%s\nfull scan:\n%s",
+					n, block, strconv.Itoa(jobs), qt, got, want)
+			}
+		}
+	})
+}

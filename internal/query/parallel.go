@@ -2,14 +2,11 @@ package query
 
 import (
 	"fmt"
-	"io"
-	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"caligo/internal/attr"
-	"caligo/internal/calformat"
 	"caligo/internal/calql"
 	"caligo/internal/contexttree"
 	"caligo/internal/obs"
@@ -18,20 +15,27 @@ import (
 	"caligo/internal/trace"
 )
 
-// Sharded multi-core execution of file queries: input files are fanned out
-// round-robin to worker goroutines, each worker owns a private read path
-// (context tree, calformat reader) and a private engine — and therefore a
-// private aggregation-database shard — and the shards are folded together
-// with the same DB.Merge the cross-process reduction uses (Section IV-C),
-// applied in-process up a pairwise tree. The attribute registry is shared
-// (it is mutex-protected), so attribute ids, LET definitions, and result
+// Sharded multi-core execution of file queries: the scan plan (scan.go)
+// turns the input files into scan units — whole unindexed files, or block
+// ranges of indexed ones, with index-excluded files and blocks already
+// dropped — and the units are fanned out round-robin to worker goroutines.
+// Each worker owns a private read path (context tree, calformat reader)
+// and a private engine — and therefore a private aggregation-database
+// shard — and the shards are folded together with the same DB.Merge the
+// cross-process reduction uses (Section IV-C), applied in-process up a
+// pairwise tree. The attribute registry is shared (it is
+// mutex-protected), so attribute ids, LET definitions, and result
 // attributes resolve identically across shards.
 //
-// Output is byte-identical to serial execution: file→worker assignment and
-// the merge order are static functions of (len(files), jobs), aggregation
-// state merges exactly (integer sums stay integers), the flush order is
-// the sorted key encoding (insertion-order independent), and
-// non-aggregating rows are reassembled in file order.
+// Because indexed files split into block-range units, a single large file
+// parallelizes across workers; without an index the unit is the file, as
+// before.
+//
+// Output is byte-identical to serial execution: unit→worker assignment
+// and the merge order are static functions of (len(units), jobs),
+// aggregation state merges exactly (integer sums stay integers), the
+// flush order is the sorted key encoding (insertion-order independent),
+// and non-aggregating rows are reassembled in (file, block) order.
 
 var (
 	telShards  = telemetry.NewCounter("caligo.query.shards")
@@ -50,9 +54,10 @@ type shardState struct {
 
 // RunShardedFiles executes q over the files with up to jobs parallel
 // read+aggregate workers and returns the finalized result rows. jobs <= 0
-// selects DefaultJobs(); the effective worker count never exceeds the file
-// count. The registry is shared across workers and carries the result
-// attributes afterwards, exactly as with serial execution.
+// selects DefaultJobs(); the effective worker count never exceeds the
+// scan-unit count. The registry is shared across workers and carries the
+// result attributes afterwards, exactly as with serial execution.
+// Sidecar indexes are used when present.
 func RunShardedFiles(q *calql.Query, reg *attr.Registry, files []string, jobs int) ([]snapshot.FlatRecord, error) {
 	return RunShardedFilesObs(q, reg, files, jobs, nil)
 }
@@ -62,11 +67,25 @@ func RunShardedFiles(q *calql.Query, reg *attr.Registry, files []string, jobs in
 // attribution at zero cost), and the query ID is stamped on the shard and
 // merge spans so traces correlate with the slow-query log.
 func RunShardedFilesObs(q *calql.Query, reg *attr.Registry, files []string, jobs int, aq *obs.ActiveQuery) ([]snapshot.FlatRecord, error) {
+	return RunShardedFilesOpts(q, reg, files, jobs, aq, ScanOptions{UseIndex: true})
+}
+
+// RunShardedFilesOpts is RunShardedFilesObs with explicit scan options
+// (index use on or off).
+func RunShardedFilesOpts(q *calql.Query, reg *attr.Registry, files []string, jobs int, aq *obs.ActiveQuery, opts ScanOptions) ([]snapshot.FlatRecord, error) {
+	return RunShardedPlan(NewScanPlan(q, opts), q, reg, files, jobs, aq)
+}
+
+// RunShardedPlan executes q over the files using a caller-provided scan
+// plan, so the caller can read the plan's scan statistics afterwards
+// (EXPLAIN ANALYZE does).
+func RunShardedPlan(plan *ScanPlan, q *calql.Query, reg *attr.Registry, files []string, jobs int, aq *obs.ActiveQuery) ([]snapshot.FlatRecord, error) {
 	if jobs <= 0 {
 		jobs = DefaultJobs()
 	}
-	if jobs > len(files) {
-		jobs = len(files)
+	units := plan.PlanUnits(files, jobs)
+	if jobs > len(units) {
+		jobs = len(units)
 	}
 	if jobs < 1 {
 		jobs = 1
@@ -74,10 +93,10 @@ func RunShardedFilesObs(q *calql.Query, reg *attr.Registry, files []string, jobs
 	telShards.Add(uint64(jobs))
 
 	shards := make([]*shardState, jobs)
-	// per-file row collection for non-aggregating queries: workers write
+	// per-unit row collection for non-aggregating queries: workers write
 	// disjoint indices, and concatenating in index order restores the
-	// serial (file, record) order
-	rowsByFile := make([][]snapshot.FlatRecord, len(files))
+	// serial (file, record) order (units are sorted by file, then block)
+	rowsByUnit := make([][]snapshot.FlatRecord, len(units))
 	errs := make([]error, jobs)
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
@@ -85,7 +104,7 @@ func RunShardedFilesObs(q *calql.Query, reg *attr.Registry, files []string, jobs
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = runShard(q, reg, files, jobs, w, shards[w], rowsByFile, aq)
+			errs[w] = runShard(plan, q, reg, units, jobs, w, shards[w], rowsByUnit, aq)
 		}(w)
 	}
 	wg.Wait()
@@ -133,9 +152,9 @@ func RunShardedFilesObs(q *calql.Query, reg *attr.Registry, files []string, jobs
 			}
 		}
 	} else {
-		// non-aggregating query: reassemble collected rows in file order
+		// non-aggregating query: reassemble collected rows in unit order
 		var rows []snapshot.FlatRecord
-		for _, rs := range rowsByFile {
+		for _, rs := range rowsByUnit {
 			rows = append(rows, rs...)
 		}
 		root.rows = rows
@@ -154,10 +173,10 @@ func RunShardedFilesObs(q *calql.Query, reg *attr.Registry, files []string, jobs
 }
 
 // runShard is one worker: it builds a private engine and context tree,
-// reads its round-robin file subset (files w, w+jobs, ...), and feeds every
-// record through the engine.
-func runShard(q *calql.Query, reg *attr.Registry, files []string, jobs, w int,
-	st *shardState, rowsByFile [][]snapshot.FlatRecord, aq *obs.ActiveQuery) error {
+// scans its round-robin unit subset (units w, w+jobs, ...), and feeds
+// every surviving record through the engine.
+func runShard(plan *ScanPlan, q *calql.Query, reg *attr.Registry, units []Unit, jobs, w int,
+	st *shardState, rowsByUnit [][]snapshot.FlatRecord, aq *obs.ActiveQuery) error {
 	sp := trace.Begin("query.shard")
 	sp.SetTid(w)
 	defer sp.End()
@@ -174,70 +193,32 @@ func runShard(q *calql.Query, reg *attr.Registry, files []string, jobs, w int,
 		return err
 	}
 	st.eng = eng
-	tree := contexttree.New()
-	var nfiles, records int
+	var nunits, records int
 	var bytes int64
-	for i := w; i < len(files); i += jobs {
-		n, nb, err := readCaliFile(eng, files[i], reg, tree)
+	for ui := w; ui < len(units); ui += jobs {
+		// a fresh tree per unit: block ranges of one file may land on
+		// different workers, so node ids must not leak across units
+		tree := contexttree.New()
+		n, nb, err := plan.ScanUnit(eng, units[ui], reg, tree)
 		if err != nil {
 			return err
 		}
 		if eng.db == nil {
-			// steal the rows collected for this file so they can be
-			// reassembled in file order
-			rowsByFile[i] = eng.rows
+			// steal the rows collected for this unit so they can be
+			// reassembled in unit order
+			rowsByUnit[ui] = eng.rows
 			eng.rows = nil
 		}
-		nfiles++
+		nunits++
 		records += n
 		bytes += nb
 	}
 	sp.ArgInt("worker", int64(w))
-	sp.ArgInt("files", int64(nfiles))
+	sp.ArgInt("units", int64(nunits))
 	sp.ArgInt("records", int64(records))
 	sp.ArgInt("bytes", bytes)
 	if aq != nil {
 		aq.ShardDone(time.Since(shardStart), uint64(records), uint64(bytes))
 	}
 	return nil
-}
-
-// readCaliFile streams one .cali file through the engine and reports the
-// record and byte counts.
-func readCaliFile(eng *Engine, fn string, reg *attr.Registry, tree *contexttree.Tree) (int, int64, error) {
-	f, err := os.Open(fn)
-	if err != nil {
-		return 0, 0, err
-	}
-	defer f.Close()
-	cr := &shardCountingReader{r: f}
-	rd := calformat.NewReader(cr, reg, tree)
-	records := 0
-	var rec snapshot.FlatRecord // reused across NextInto calls
-	for {
-		err := rd.NextInto(&rec)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return records, cr.n, fmt.Errorf("%s: %w", fn, err)
-		}
-		if err := eng.Process(rec); err != nil {
-			return records, cr.n, err
-		}
-		records++
-	}
-	return records, cr.n, nil
-}
-
-// shardCountingReader counts consumed bytes for the shard span's bytes arg.
-type shardCountingReader struct {
-	r io.Reader
-	n int64
-}
-
-func (c *shardCountingReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	c.n += int64(n)
-	return n, err
 }

@@ -1,0 +1,590 @@
+package query
+
+// Index-aware scan planning: the bridge between the sidecar block indexes
+// (internal/calformat/index.go) and query execution. A ScanPlan compiles
+// a query's WHERE clause into zone-map tests and its referenced-attribute
+// set into a decode projection, then plans each input file into scan
+// units — whole files for unindexed inputs, block ranges for indexed ones
+// — skipping files and blocks whose zone maps prove no record can match.
+//
+// Correctness invariants (pinned by FuzzIndexedQueryDiff and the calql
+// byte-identity tests):
+//
+//   - Only non-negated WHERE conditions prune, and only conditions on
+//     attributes that are not LET results (LET entries are appended at
+//     query time and a file-provided entry of the same name is shadowed
+//     only when the LET fires — excluded wholesale).
+//   - A block is skipped only if some condition cannot match ANY entry
+//     occurrence in it; the engine tests the last occurrence per record,
+//     a subset, so skipping is conservative.
+//   - Pruned blocks holding attr/node/globals definitions are passed with
+//     a metadata-only scan (later blocks may reference their defs); only
+//     definition-free blocks are seeked over.
+//   - The decode projection is applied only to aggregating queries (their
+//     result rows are built from key/result attributes, never raw
+//     records) and keeps every attribute the query can observe: GROUP BY
+//     keys, operator targets and their re-aggregation input names, WHERE
+//     attributes, and LET sources and names.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"caligo/internal/attr"
+	"caligo/internal/calformat"
+	"caligo/internal/calql"
+	"caligo/internal/contexttree"
+	"caligo/internal/core"
+	"caligo/internal/snapshot"
+	"caligo/internal/telemetry"
+	"caligo/internal/trace"
+)
+
+// Self-instrumentation of the index layer (docs/OBSERVABILITY.md).
+var (
+	telIdxFilesIndexed  = telemetry.NewCounter("caligo.index.files.indexed")
+	telIdxFilesSkipped  = telemetry.NewCounter("caligo.index.files.skipped")
+	telIdxBlocksScanned = telemetry.NewCounter("caligo.index.blocks.scanned")
+	telIdxBlocksPruned  = telemetry.NewCounter("caligo.index.blocks.pruned")
+	telIdxBlocksSeeked  = telemetry.NewCounter("caligo.index.blocks.seeked")
+	telIdxRecordsPruned = telemetry.NewCounter("caligo.index.records.pruned")
+	telIdxFallback      = telemetry.NewCounter("caligo.index.fallback")
+)
+
+// ScanOptions control the index-aware scan layer.
+type ScanOptions struct {
+	// UseIndex enables sidecar index use: file/block pruning, projection
+	// pushdown, and intra-file sharding. Off, every file is fully decoded
+	// (the pre-index behavior, bit for bit).
+	UseIndex bool
+}
+
+// ScanStats summarize what planning and scanning did, for EXPLAIN
+// ANALYZE and tests.
+type ScanStats struct {
+	Files         int64
+	FilesIndexed  int64
+	FilesSkipped  int64
+	Fallbacks     int64 // stale/corrupt/version-mismatched indexes ignored
+	BlocksScanned int64
+	BlocksPruned  int64
+	BlocksSeeked  int64 // pruned blocks passed by seek (subset of pruned)
+	RecordsPruned int64
+}
+
+// pruneCond is one WHERE condition usable for zone pruning.
+type pruneCond struct {
+	attrName string
+	op       calql.CondOp
+	lit      string
+	numLit   float64
+	numOK    bool
+}
+
+// ScanPlan is the per-query compiled scan strategy. It is shared across
+// scan workers; stats accumulation is mutex-protected.
+type ScanPlan struct {
+	q     *calql.Query
+	opts  ScanOptions
+	conds []pruneCond
+	proj  map[string]bool
+
+	mu    sync.Mutex
+	stats ScanStats
+}
+
+// NewScanPlan compiles the prunable conditions and decode projection of q.
+func NewScanPlan(q *calql.Query, opts ScanOptions) *ScanPlan {
+	p := &ScanPlan{q: q, opts: opts}
+	if !opts.UseIndex {
+		return p
+	}
+	letNames := map[string]bool{}
+	for _, l := range q.Lets {
+		letNames[l.Name] = true
+	}
+	for _, c := range q.Where {
+		if c.Negate || letNames[c.Attr] {
+			continue
+		}
+		pc := pruneCond{attrName: c.Attr, op: c.Op, lit: c.Value}
+		// mirror compiledCond: the literal parsed as float64 decides
+		// whether numeric-typed values compare numerically
+		if f, err := strconv.ParseFloat(c.Value, 64); err == nil {
+			pc.numLit, pc.numOK = f, true
+		}
+		p.conds = append(p.conds, pc)
+	}
+	p.proj = neededAttrs(q)
+	return p
+}
+
+// neededAttrs returns the attribute set an aggregating query can observe
+// on input records, or nil when projection must not be applied (the query
+// returns raw records).
+func neededAttrs(q *calql.Query) map[string]bool {
+	if !q.HasAggregation() {
+		return nil
+	}
+	need := map[string]bool{}
+	for _, k := range q.GroupBy {
+		need[k] = true
+	}
+	for _, op := range q.Ops {
+		if op.Kind.NeedsTarget() {
+			need[op.Target] = true
+		}
+		// re-aggregation input names (core.DB resolveRole): count
+		// consumes aggregate.count, sum/min/max/scount/inclusive_sum
+		// consume <kind>#<target>
+		switch op.Kind {
+		case core.OpCount:
+			need[core.CountResultName] = true
+		case core.OpSum, core.OpMin, core.OpMax, core.OpScount, core.OpInclusiveSum:
+			need[op.Kind.String()+"#"+op.Target] = true
+		}
+	}
+	for _, c := range q.Where {
+		need[c.Attr] = true
+	}
+	for _, l := range q.Lets {
+		need[l.Name] = true // a file entry of the LET's name is observable
+		for _, a := range l.Args {
+			need[a] = true
+		}
+	}
+	return need
+}
+
+// Projection returns the sorted kept-attribute list, or nil when
+// projection is inactive. For EXPLAIN.
+func (p *ScanPlan) Projection() []string {
+	if p.proj == nil {
+		return nil
+	}
+	out := make([]string, 0, len(p.proj))
+	for a := range p.proj {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// projCoversAll reports whether the projection keeps every attribute that
+// actually occurs in the indexed file — then the per-entry filter can only
+// pass entries through, so skipping it saves the lookup cost.
+func (p *ScanPlan) projCoversAll(idx *calformat.Index) bool {
+	if idx == nil {
+		return false
+	}
+	for i := range idx.Attrs {
+		a := &idx.Attrs[i]
+		if a.Entries > 0 && !p.proj[a.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrunableConds renders the conditions zone maps are tested against. For
+// EXPLAIN.
+func (p *ScanPlan) PrunableConds() []string {
+	var out []string
+	for _, c := range p.conds {
+		out = append(out, condString(c))
+	}
+	return out
+}
+
+func condString(c pruneCond) string {
+	switch c.op {
+	case calql.CondExist:
+		return c.attrName
+	case calql.CondEq:
+		return c.attrName + " = " + c.lit
+	case calql.CondLt:
+		return c.attrName + " < " + c.lit
+	case calql.CondLe:
+		return c.attrName + " <= " + c.lit
+	case calql.CondGt:
+		return c.attrName + " > " + c.lit
+	case calql.CondGe:
+		return c.attrName + " >= " + c.lit
+	}
+	return c.attrName + " ? " + c.lit
+}
+
+// Stats returns a snapshot of the accumulated scan statistics.
+func (p *ScanPlan) Stats() ScanStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// canMatchZone reports whether the condition could be satisfied by some
+// entry occurrence summarized by the block's zone state. attrIdx is the
+// condition attribute's index-table position (-1: absent from the file).
+// Any uncertainty returns true (scan the block).
+func (c *pruneCond) canMatchZone(idx *calformat.Index, b *calformat.Block, attrIdx int) bool {
+	if attrIdx < 0 {
+		return false // attribute occurs nowhere in the file
+	}
+	z := b.Zone(attrIdx)
+	if z == nil || z.Count == 0 {
+		return false // attribute occurs nowhere in the block
+	}
+	if c.op == calql.CondExist {
+		return true
+	}
+	switch idx.Attrs[attrIdx].Type {
+	case attr.Int, attr.Uint, attr.Float, attr.Bool:
+		if !c.numOK || !z.HasNum {
+			// non-numeric literal: the engine compares text; no bounds
+			return true
+		}
+		switch c.op {
+		case calql.CondEq:
+			return c.numLit >= z.Min && c.numLit <= z.Max
+		case calql.CondLt:
+			return z.Min < c.numLit
+		case calql.CondLe:
+			return z.Min <= c.numLit
+		case calql.CondGt:
+			return z.Max > c.numLit
+		case calql.CondGe:
+			return z.Max >= c.numLit
+		}
+		return true
+	case attr.String:
+		if z.Overflow || len(z.Strs) == 0 {
+			return true
+		}
+		for _, s := range z.Strs {
+			cmp := strings.Compare(s, c.lit)
+			var ok bool
+			switch c.op {
+			case calql.CondEq:
+				ok = cmp == 0
+			case calql.CondLt:
+				ok = cmp < 0
+			case calql.CondLe:
+				ok = cmp <= 0
+			case calql.CondGt:
+				ok = cmp > 0
+			case calql.CondGe:
+				ok = cmp >= 0
+			default:
+				ok = true
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	return true // other types carry no zone detail
+}
+
+// evalFile tests every block of an index against the prunable conditions.
+// skipBlock[i] means block i cannot contribute a matching record;
+// skipFile means none can (the file need not be opened at all).
+func (p *ScanPlan) evalFile(idx *calformat.Index) (skipFile bool, skipBlock []bool) {
+	attrIdx := make([]int, len(p.conds))
+	for i, c := range p.conds {
+		attrIdx[i] = idx.AttrIndex(c.attrName)
+	}
+	skipBlock = make([]bool, len(idx.Blocks))
+	skipFile = true
+	for bi := range idx.Blocks {
+		b := &idx.Blocks[bi]
+		if b.Records == 0 {
+			skipBlock[bi] = true // nothing to prune, nothing to scan
+			continue
+		}
+		for ci := range p.conds {
+			if !p.conds[ci].canMatchZone(idx, b, attrIdx[ci]) {
+				skipBlock[bi] = true
+				break
+			}
+		}
+		if !skipBlock[bi] {
+			skipFile = false
+		}
+	}
+	return skipFile, skipBlock
+}
+
+// Unit is one scan work item: a whole unindexed file, or a block range
+// [Lo, Hi) of an indexed one. Units are ordered by (FileIdx, Lo); scanning
+// them in that order reproduces the serial full-scan record order.
+type Unit struct {
+	FileIdx int
+	File    string
+	Idx     *calformat.Index // nil: plain full scan
+	Skip    []bool           // per-block skip flags (len == len(Idx.Blocks))
+	Lo, Hi  int              // block range to scan
+}
+
+// liveRecords counts the records the unit will actually decode.
+func (u *Unit) liveRecords() int64 {
+	if u.Idx == nil {
+		return -1 // unknown
+	}
+	var n int64
+	for bi := u.Lo; bi < u.Hi; bi++ {
+		if !u.Skip[bi] {
+			n += int64(u.Idx.Blocks[bi].Records)
+		}
+	}
+	return n
+}
+
+// PlanUnits loads each file's index (when enabled and present), drops
+// files the zone maps fully exclude, and splits large indexed files into
+// block-range units when there are fewer units than workers. The result
+// is a deterministic function of (files, jobs, index contents).
+func (p *ScanPlan) PlanUnits(files []string, jobs int) []Unit {
+	sp := trace.Begin("query.index")
+	units := make([]Unit, 0, len(files))
+	var indexed, skipped, fallbacks int64
+	for i, f := range files {
+		if !p.opts.UseIndex {
+			units = append(units, Unit{FileIdx: i, File: f})
+			continue
+		}
+		idx, err := calformat.LoadIndex(f)
+		if err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				fallbacks++
+				telIdxFallback.Inc()
+			}
+			units = append(units, Unit{FileIdx: i, File: f})
+			continue
+		}
+		indexed++
+		telIdxFilesIndexed.Inc()
+		skipFile, skipBlock := p.evalFile(idx)
+		if skipFile {
+			skipped++
+			telIdxFilesSkipped.Inc()
+			telIdxRecordsPruned.Add(idx.Records)
+			p.mu.Lock()
+			p.stats.RecordsPruned += int64(idx.Records)
+			p.mu.Unlock()
+			continue
+		}
+		units = append(units, Unit{FileIdx: i, File: f, Idx: idx, Skip: skipBlock, Hi: len(idx.Blocks)})
+	}
+	if jobs > 1 && len(units) > 0 && len(units) < jobs {
+		units = splitUnits(units, jobs)
+	}
+	p.mu.Lock()
+	p.stats.Files += int64(len(files))
+	p.stats.FilesIndexed += indexed
+	p.stats.FilesSkipped += skipped
+	p.stats.Fallbacks += fallbacks
+	p.mu.Unlock()
+	sp.ArgInt("files", int64(len(files)))
+	sp.ArgInt("indexed", indexed)
+	sp.ArgInt("files_skipped", skipped)
+	sp.ArgInt("fallbacks", fallbacks)
+	sp.End()
+	return units
+}
+
+// splitUnits repeatedly halves the unit with the most live records (at
+// block granularity) until there are jobs units or nothing splittable
+// remains, then restores (FileIdx, Lo) order.
+func splitUnits(units []Unit, jobs int) []Unit {
+	for len(units) < jobs {
+		// pick the splittable unit with the most live records
+		best, bestLive := -1, int64(1) // require at least 2 live records
+		for i := range units {
+			u := &units[i]
+			if u.Idx == nil || u.Hi-u.Lo < 2 {
+				continue
+			}
+			if live := u.liveRecords(); live > bestLive {
+				best, bestLive = i, live
+			}
+		}
+		if best < 0 {
+			break
+		}
+		u := units[best]
+		// find the block boundary closest to half the live records
+		half := bestLive / 2
+		mid, acc := u.Lo+1, int64(0)
+		for bi := u.Lo; bi < u.Hi-1; bi++ {
+			if !u.Skip[bi] {
+				acc += int64(u.Idx.Blocks[bi].Records)
+			}
+			if acc >= half {
+				mid = bi + 1
+				break
+			}
+		}
+		left := Unit{FileIdx: u.FileIdx, File: u.File, Idx: u.Idx, Skip: u.Skip, Lo: u.Lo, Hi: mid}
+		right := Unit{FileIdx: u.FileIdx, File: u.File, Idx: u.Idx, Skip: u.Skip, Lo: mid, Hi: u.Hi}
+		if left.liveRecords() == 0 || right.liveRecords() == 0 {
+			break // a half with no records gains nothing; stop splitting
+		}
+		units = append(units[:best], append([]Unit{left, right}, units[best+1:]...)...)
+	}
+	sort.Slice(units, func(i, j int) bool {
+		if units[i].FileIdx != units[j].FileIdx {
+			return units[i].FileIdx < units[j].FileIdx
+		}
+		return units[i].Lo < units[j].Lo
+	})
+	return units
+}
+
+// ScanUnit feeds the unit's records through the engine: pruned blocks are
+// seeked over (definition-free) or metadata-scanned, live blocks are
+// decoded under the plan's projection. Returns the records decoded and
+// bytes read.
+func (p *ScanPlan) ScanUnit(eng *Engine, u Unit, reg *attr.Registry, tree *contexttree.Tree) (int, int64, error) {
+	f, err := os.Open(u.File)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	rd := calformat.NewReader(f, reg, tree)
+	if p.proj != nil && !p.projCoversAll(u.Idx) {
+		rd.SetProjection(p.proj)
+	}
+
+	records := 0
+	var rec snapshot.FlatRecord
+	if u.Idx == nil {
+		// plain full scan to EOF
+		for {
+			err := rd.NextInto(&rec)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return records, rd.Offset(), fmt.Errorf("%s: %w", u.File, err)
+			}
+			if err := eng.Process(rec); err != nil {
+				return records, rd.Offset(), err
+			}
+			records++
+		}
+		return records, rd.Offset(), nil
+	}
+
+	sp := trace.Begin("query.index")
+	defer sp.End()
+	var scanned, pruned, seeked, recsPruned, seekedBytes int64
+	blocks := u.Idx.Blocks
+	const (
+		actFull = iota
+		actMeta
+		actSeek
+	)
+	actionOf := func(bi int) int {
+		if bi >= u.Lo && !u.Skip[bi] {
+			return actFull
+		}
+		if blocks[bi].MetaLines == 0 {
+			return actSeek
+		}
+		return actMeta
+	}
+	for bi := 0; bi < u.Hi; {
+		act := actionOf(bi)
+		// coalesce a run of same-action blocks into one operation
+		end := bi + 1
+		for end < u.Hi && actionOf(end) == act {
+			end++
+		}
+		runEnd := blocks[end-1].Offset + blocks[end-1].Length
+		// account only the target range [Lo, Hi); the prefix is overhead
+		// already attributed to the unit that owns those blocks
+		for i := bi; i < end; i++ {
+			if i < u.Lo {
+				continue
+			}
+			b := &blocks[i]
+			switch act {
+			case actFull:
+				scanned++
+			case actMeta:
+				pruned++
+				recsPruned += int64(b.Records)
+			case actSeek:
+				pruned++
+				seeked++
+				recsPruned += int64(b.Records)
+			}
+		}
+		switch act {
+		case actSeek:
+			seekedBytes += runEnd - rd.Offset()
+			if err := rd.SkipTo(runEnd); err != nil {
+				return records, 0, fmt.Errorf("%s: %w", u.File, err)
+			}
+		case actMeta:
+			if err := rd.ScanMetaUntil(runEnd); err != nil {
+				return records, 0, fmt.Errorf("%s: %w", u.File, err)
+			}
+		case actFull:
+			rd.SetLimit(runEnd)
+			for {
+				err := rd.NextInto(&rec)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return records, 0, fmt.Errorf("%s: %w", u.File, err)
+				}
+				if err := eng.Process(rec); err != nil {
+					return records, 0, err
+				}
+				records++
+			}
+		}
+		bi = end
+	}
+
+	telIdxBlocksScanned.Add(uint64(scanned))
+	telIdxBlocksPruned.Add(uint64(pruned))
+	telIdxBlocksSeeked.Add(uint64(seeked))
+	telIdxRecordsPruned.Add(uint64(recsPruned))
+	p.mu.Lock()
+	p.stats.BlocksScanned += scanned
+	p.stats.BlocksPruned += pruned
+	p.stats.BlocksSeeked += seeked
+	p.stats.RecordsPruned += recsPruned
+	p.mu.Unlock()
+	sp.ArgInt("blocks_scanned", scanned)
+	sp.ArgInt("blocks_pruned", pruned)
+	sp.ArgInt("blocks_seeked", seeked)
+	sp.ArgInt("records_pruned", recsPruned)
+	return records, rd.Offset() - seekedBytes, nil
+}
+
+// ScanFiles is the serial scan loop: plan the files as one worker's units
+// and feed them through the engine in order.
+func (p *ScanPlan) ScanFiles(eng *Engine, files []string, reg *attr.Registry, tree *contexttree.Tree) (int, int64, error) {
+	records := 0
+	var bytes int64
+	for _, u := range p.PlanUnits(files, 1) {
+		n, nb, err := p.ScanUnit(eng, u, reg, tree)
+		records += n
+		bytes += nb
+		if err != nil {
+			return records, bytes, err
+		}
+	}
+	return records, bytes, nil
+}
