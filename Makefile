@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench-smoke bench-json bench-compare fuzz-seed smoke prof-smoke index-smoke check clean
+.PHONY: build vet test test-race bench-smoke bench-json bench-compare fuzz-seed smoke prof-smoke index-smoke cache-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > BENCH_trace.json
 	@cat BENCH_trace.json
 	@if [ -f BENCH_query.json ]; then cp BENCH_query.json BENCH_query.prev.json; fi
-	$(GO) test -run '^$$' -bench 'QueryFilesSharded|WhereCompiled|WhereEvalCondition|SortRows|BenchmarkMerge|IndexedScan' \
+	$(GO) test -run '^$$' -bench 'QueryFilesSharded|WhereCompiled|WhereEvalCondition|SortRows|BenchmarkMerge|IndexedScan|CachedQuery' \
 		-benchmem ./calql/ ./internal/query/ ./internal/core/ \
 		| $(GO) run ./cmd/benchjson > BENCH_query.json
 	@cat BENCH_query.json
@@ -53,7 +53,7 @@ bench-compare:
 # Run the fuzz targets over their seed corpora only (no fuzzing time);
 # regressions on checked-in seeds fail fast.
 fuzz-seed:
-	$(GO) test -run Fuzz ./internal/calql ./internal/calformat ./internal/prof ./internal/query
+	$(GO) test -run Fuzz ./internal/calql ./internal/calformat ./internal/core ./internal/prof ./internal/query
 
 # Self-profiling smoke test: capture a 1s CPU window of the test process,
 # convert it to .cali, and answer the flagship flame question with CalQL
@@ -67,13 +67,20 @@ prof-smoke:
 index-smoke:
 	$(GO) test -run 'TestIndexSmoke' -count=1 ./calql/
 
+# Aggregate-cache smoke test: over one shared cache directory, cold,
+# warm, sharded, and emulated-MPI execution must render byte-identical
+# output to an uncached run, appends must re-aggregate only the tail,
+# and corrupt entries must fall back to full scans silently.
+cache-smoke:
+	$(GO) test -run 'TestCache' -count=1 ./calql/
+
 # Ops-surface smoke test: start ServeDebug, run a sharded query, scrape
 # /debug/metrics, /debug/queries, and /debug/log over HTTP, and validate
 # the bodies with the same parsers cali-top uses.
 smoke:
 	$(GO) test -run TestEndpointSmoke -count=1 .
 
-check: build vet test fuzz-seed smoke prof-smoke index-smoke
+check: build vet test fuzz-seed smoke prof-smoke index-smoke cache-smoke
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,7 @@ package calql
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"caligo/caliper"
@@ -18,6 +19,7 @@ import (
 	"caligo/internal/mpi"
 	"caligo/internal/obs"
 	"caligo/internal/pquery"
+	"caligo/internal/qcache"
 	"caligo/internal/query"
 	"caligo/internal/snapshot"
 	"caligo/internal/trace"
@@ -87,10 +89,37 @@ type Options struct {
 	// byte-identical either way; the flag exists for comparison and as an
 	// escape hatch.
 	NoIndex bool
+	// CacheDir enables the per-file aggregate state cache (internal/
+	// qcache) rooted at the given directory. Empty falls back to the
+	// CALIGO_CACHE environment variable; if that is empty too, caching is
+	// off. The output is byte-identical either way.
+	CacheDir string
+	// NoCache force-disables the aggregate cache, overriding CacheDir and
+	// CALIGO_CACHE.
+	NoCache bool
+}
+
+// cacheDir resolves the effective cache directory ("" = caching off).
+func (o Options) cacheDir() string {
+	if o.NoCache {
+		return ""
+	}
+	if o.CacheDir != "" {
+		return o.CacheDir
+	}
+	return os.Getenv("CALIGO_CACHE")
 }
 
 func (o Options) scan() query.ScanOptions {
-	return query.ScanOptions{UseIndex: !o.NoIndex}
+	so := query.ScanOptions{UseIndex: !o.NoIndex}
+	if dir := o.cacheDir(); dir != "" {
+		// an unopenable cache directory silently disables caching: the
+		// query must answer regardless
+		if store, err := qcache.Shared(dir); err == nil {
+			so.Cache = store
+		}
+	}
+	return so
 }
 
 // QueryFiles runs a query serially over the given .cali files, merging
@@ -160,6 +189,9 @@ func queryFilesObs(queryText string, files []string, opts Options, aq *obs.Activ
 		aq.Phase("read+aggregate", time.Since(readStart))
 		aq.AddRecords(uint64(nrecs))
 		aq.AddBytes(uint64(bytesRead))
+		if st := plan.Stats(); st.CacheHits+st.CacheMisses+st.CacheIncremental > 0 {
+			aq.CacheStats(uint64(st.CacheHits), uint64(st.CacheMisses), uint64(st.CacheIncremental))
+		}
 		postStart = time.Now()
 	}
 	rows, err := eng.Results()
@@ -317,6 +349,10 @@ func ExplainFilesOpts(queryText string, files []string, ranks, jobs int, eopts O
 		jobs = len(files)
 	}
 	opts := query.PlanOptions{Inputs: len(files), UseIndex: !eopts.NoIndex}
+	if dir := eopts.cacheDir(); dir != "" {
+		opts.Cache = true
+		opts.CacheDir = dir
+	}
 	if ranks > 0 {
 		opts.Ranks = ranks
 		opts.Fanin = 2

@@ -64,3 +64,63 @@ func TestCompareFiles(t *testing.T) {
 		t.Fatal("0 -> 3 allocs/op regression not detected")
 	}
 }
+
+func TestCompareCalibrated(t *testing.T) {
+	dir := t.TempDir()
+	// the whole host slowed down 30%: every benchmark (incl. the untouched
+	// reference "Ref") reports +30% ns/op
+	old := writeReport(t, dir, "old.json", `{"benchmarks":[
+		{"name":"Ref","iterations":10,"ns_per_op":1000,"allocs_per_op":5},
+		{"name":"A","iterations":10,"ns_per_op":100,"allocs_per_op":50}]}`)
+	slowHost := writeReport(t, dir, "new_slowhost.json", `{"benchmarks":[
+		{"name":"Ref","iterations":10,"ns_per_op":1300,"allocs_per_op":5},
+		{"name":"A","iterations":10,"ns_per_op":130,"allocs_per_op":50}]}`)
+
+	// uncalibrated: the host slowdown is flagged as a regression
+	regressed, err := compareFiles(&strings.Builder{}, old, slowHost, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("uncalibrated compare should flag the +30% host slowdown")
+	}
+
+	// calibrated on Ref: the uniform slowdown normalizes away
+	var sb strings.Builder
+	regressed, err = compareFilesCalibrated(&sb, old, slowHost, 0.15, "Ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("calibrated compare flagged a pure host slowdown:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "calibrated on Ref") {
+		t.Errorf("output missing calibration note:\n%s", sb.String())
+	}
+
+	// a real regression survives calibration: A got 2x slower on top of
+	// the host slowdown
+	realSlow := writeReport(t, dir, "new_realslow.json", `{"benchmarks":[
+		{"name":"Ref","iterations":10,"ns_per_op":1300,"allocs_per_op":5},
+		{"name":"A","iterations":10,"ns_per_op":260,"allocs_per_op":50}]}`)
+	regressed, err = compareFilesCalibrated(&strings.Builder{}, old, realSlow, 0.15, "Ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("calibration masked a real 2x regression")
+	}
+
+	// missing reference: warn and compare uncalibrated
+	sb.Reset()
+	regressed, err = compareFilesCalibrated(&sb, old, slowHost, 0.15, "NoSuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("missing reference should fall back to uncalibrated compare")
+	}
+	if !strings.Contains(sb.String(), "warning") {
+		t.Errorf("output missing fallback warning:\n%s", sb.String())
+	}
+}

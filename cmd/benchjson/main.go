@@ -15,6 +15,15 @@
 // pairs gate together under one exit status (`make bench-compare` passes
 // both the query and the trace snapshots, so tracing/telemetry overhead
 // regressions fail as loudly as engine regressions).
+//
+// With -calibrate BENCH, the named benchmark serves as a host-speed
+// reference: every old ns/op is scaled by the reference's new/old ratio
+// before the delta is computed, so snapshots taken on a faster or more
+// idle machine don't flag untouched benchmarks as regressed (or mask
+// real regressions on a machine that sped up). Only ns/op is calibrated
+// — allocs/op is machine-independent. If the reference benchmark is
+// missing from either file, the pair compares uncalibrated with a
+// warning.
 package main
 
 import (
@@ -50,6 +59,7 @@ type Report struct {
 func main() {
 	compareMode := flag.Bool("compare", false, "compare two BENCH JSON files instead of converting stdin")
 	threshold := flag.Float64("threshold", 0.15, "max allowed fractional regression in compare mode")
+	calibrate := flag.String("calibrate", "", "compare mode: normalize ns/op thresholds by this reference benchmark's old/new ratio")
 	flag.Parse()
 	if *compareMode {
 		if flag.NArg() < 2 || flag.NArg()%2 != 0 {
@@ -62,7 +72,7 @@ func main() {
 			if flag.NArg() > 2 {
 				fmt.Printf("== %s vs %s ==\n", oldPath, newPath)
 			}
-			regressed, err := compareFiles(os.Stdout, oldPath, newPath, *threshold)
+			regressed, err := compareFilesCalibrated(os.Stdout, oldPath, newPath, *threshold, *calibrate)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchjson:", err)
 				os.Exit(2)
@@ -85,6 +95,15 @@ func main() {
 // allocs/op. Benchmarks present in only one file are listed but never
 // count as regressions (benchmarks come and go across PRs).
 func compareFiles(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	return compareFilesCalibrated(w, oldPath, newPath, threshold, "")
+}
+
+// compareFilesCalibrated is compareFiles with an optional host-speed
+// reference benchmark: when calibrate names a benchmark present in both
+// reports, every old ns/op is scaled by the reference's new/old ratio
+// before deltas are computed (the reference itself then shows ~0% by
+// construction, so it must be a benchmark this PR does not touch).
+func compareFilesCalibrated(w io.Writer, oldPath, newPath string, threshold float64, calibrate string) (bool, error) {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return false, err
@@ -97,6 +116,26 @@ func compareFiles(w io.Writer, oldPath, newPath string, threshold float64) (bool
 	for _, b := range oldRep.Benchmarks {
 		oldBy[b.Name] = b
 	}
+	nsScale := 1.0
+	if calibrate != "" {
+		ref, okOld := oldBy[calibrate]
+		var newRef Benchmark
+		okNew := false
+		for _, b := range newRep.Benchmarks {
+			if b.Name == calibrate {
+				newRef, okNew = b, true
+				break
+			}
+		}
+		if okOld && okNew && ref.NsPerOp > 0 && newRef.NsPerOp > 0 {
+			nsScale = newRef.NsPerOp / ref.NsPerOp
+			fmt.Fprintf(w, "calibrated on %s: host ratio %.3f (old ns/op scaled accordingly)\n",
+				calibrate, nsScale)
+		} else {
+			fmt.Fprintf(w, "warning: calibration benchmark %q missing or zero in %s/%s; comparing uncalibrated\n",
+				calibrate, oldPath, newPath)
+		}
+	}
 	fmt.Fprintf(w, "%-34s %14s %14s %8s   %10s %10s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
 	regressed := false
@@ -108,7 +147,7 @@ func compareFiles(w io.Writer, oldPath, newPath string, threshold float64) (bool
 			continue
 		}
 		delete(oldBy, nb.Name)
-		nsDelta := frac(ob.NsPerOp, nb.NsPerOp)
+		nsDelta := frac(ob.NsPerOp*nsScale, nb.NsPerOp)
 		allocDelta := frac(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp))
 		mark := ""
 		if nsDelta > threshold || allocDelta > threshold {

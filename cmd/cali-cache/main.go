@@ -1,0 +1,136 @@
+// Command cali-cache inspects and maintains the per-file aggregate
+// state cache that cali-query's -cache flag (or $CALIGO_CACHE) fills.
+//
+// Usage:
+//
+//	cali-cache [-dir DIR] inspect        # list entries: file, watermark, state size, age
+//	cali-cache [-dir DIR] verify         # checksum every entry, remove broken ones
+//	cali-cache [-dir DIR] [-max BYTES] gc  # evict oldest entries down to the size bound
+//
+// The directory defaults to $CALIGO_CACHE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"caligo/internal/qcache"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cali-cache:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cali-cache", flag.ContinueOnError)
+	dir := fs.String("dir", os.Getenv("CALIGO_CACHE"), "cache directory (default: $CALIGO_CACHE)")
+	max := fs.Int64("max", 0, "gc: size bound in bytes (default: $CALIGO_CACHE_MAX or 256MiB)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: cali-cache [-dir DIR] inspect|verify|gc\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		fs.Usage()
+		return fmt.Errorf("no cache directory: pass -dir or set $CALIGO_CACHE")
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected one command: inspect, verify, or gc")
+	}
+	store, err := qcache.Open(*dir)
+	if err != nil {
+		return err
+	}
+	switch cmd := fs.Arg(0); cmd {
+	case "inspect":
+		return inspect(w, store)
+	case "verify":
+		total, removed, err := store.Verify()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: %d entries, %d corrupt removed\n", store.Dir(), total, removed)
+		return nil
+	case "gc":
+		if *max > 0 {
+			store.SetMaxBytes(*max)
+		}
+		removed, freed, err := gc(store)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: evicted %d entries, freed %d bytes (bound %d)\n",
+			store.Dir(), removed, freed, store.MaxBytes())
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func gc(store *qcache.Store) (int, int64, error) {
+	removed, freed := store.GC()
+	return removed, freed, nil
+}
+
+// inspect lists every entry: the data file it covers, the watermark and
+// record count the cached state represents, the entry size, its age, and
+// a short prefix of the query fingerprint.
+func inspect(w io.Writer, store *qcache.Store) error {
+	infos, err := store.Entries()
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "FILE\tWATERMARK\tRECORDS\tSPANS\tENTRY BYTES\tAGE\tPLAN\n")
+	var total int64
+	bad := 0
+	for _, info := range infos {
+		if info.Err != nil {
+			bad++
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t%d\t%s\t<%v>\n",
+				info.Path, info.Size, age(info.Mtime), info.Err)
+			continue
+		}
+		e := info.Entry
+		total += info.Size
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			e.File, e.Watermark, e.Records, len(e.MetaSpans), info.Size,
+			age(info.Mtime), planLabel(e.Plan))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%d entries, %d bytes", len(infos), total)
+	if bad > 0 {
+		fmt.Fprintf(w, " (%d undecodable — run cali-cache verify)", bad)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func age(t time.Time) string {
+	if t.IsZero() {
+		return "-"
+	}
+	return time.Since(t).Truncate(time.Second).String()
+}
+
+// planLabel compresses the canonical fingerprint for the table.
+func planLabel(plan string) string {
+	const maxLen = 60
+	if len(plan) > maxLen {
+		return plan[:maxLen-3] + "..."
+	}
+	return plan
+}

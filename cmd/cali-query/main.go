@@ -40,6 +40,8 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "run the MPI-emulated parallel query with this many ranks (0 = serial)")
 	jobs := fs.Int("j", 1, "sharded multi-core execution with this many read+aggregate workers (1 = serial, 0 = one per CPU)")
 	noIndex := fs.Bool("no-index", false, "ignore sidecar block indexes (.cali.idx): no file/block pruning or projection pushdown")
+	cacheDir := fs.String("cache", "", "per-file aggregate state cache directory (default: $CALIGO_CACHE; empty = caching off)")
+	noCache := fs.Bool("no-cache", false, "disable the aggregate state cache, overriding -cache and $CALIGO_CACHE")
 	showTiming := fs.Bool("timing", false, "print phase timing of the parallel query")
 	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run (to stderr)")
 	traceOut := fs.String("trace", "", "write spans of the run as Chrome trace-event JSON to this file (view in Perfetto)")
@@ -101,7 +103,8 @@ func run(args []string) error {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/ (metrics, queries, log, pprof)\n", srv.Addr())
 	}
-	if err := runQuery(*queryText, files, *parallel, *jobs, *showTiming, calql.Options{NoIndex: *noIndex}); err != nil {
+	if err := runQuery(*queryText, files, *parallel, *jobs, *showTiming,
+		calql.Options{NoIndex: *noIndex, CacheDir: *cacheDir, NoCache: *noCache}); err != nil {
 		return err
 	}
 	if *traceOut != "" {

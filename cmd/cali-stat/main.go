@@ -14,6 +14,7 @@ import (
 	"io"
 	"io/fs"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"caligo/internal/attr"
 	"caligo/internal/calformat"
 	"caligo/internal/contexttree"
+	"caligo/internal/qcache"
 	"caligo/internal/snapshot"
 	"caligo/internal/telemetry"
 	"caligo/internal/trace"
@@ -45,6 +47,9 @@ type fileStats struct {
 	// summary (stats were served from the index without decoding the
 	// file), "stale (ignored)", "corrupt (ignored)", or "(disabled)".
 	indexState string
+	// cacheState summarizes the file's aggregate-cache entries ("" when
+	// no cache directory is configured).
+	cacheState string
 }
 
 type attrStats struct {
@@ -56,6 +61,8 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cali-stat", flag.ContinueOnError)
 	combined := fs.Bool("combined", false, "also print totals over all files")
 	noIndex := fs.Bool("no-index", false, "ignore sidecar block indexes and decode every file")
+	cacheDir := fs.String("cache", os.Getenv("CALIGO_CACHE"), "report each file's aggregate-cache entries from this cache directory (default: $CALIGO_CACHE)")
+	noCache := fs.Bool("no-cache", false, "skip the aggregate-cache report, overriding -cache and $CALIGO_CACHE")
 	jobs := fs.Int("j", 0, "scan this many files in parallel (0 = one per CPU)")
 	showStats := fs.Bool("stats", false, "print the internal telemetry report after the run")
 	traceOut := fs.String("trace", "", "write spans of the run as Chrome trace-event JSON to this file (view in Perfetto)")
@@ -106,6 +113,9 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+	}
+	if *cacheDir != "" && !*noCache {
+		annotateCacheState(all, *cacheDir)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -231,12 +241,57 @@ func statFromIndex(fn string, idx *calformat.Index) *fileStats {
 	return st
 }
 
+// annotateCacheState fills each file's cacheState from the aggregate
+// cache: how many stored query states reference the file and how many
+// bytes they occupy. Cache problems never fail the stat run.
+func annotateCacheState(all []*fileStats, dir string) {
+	store, err := qcache.Open(dir)
+	if err != nil {
+		return
+	}
+	infos, err := store.Entries()
+	if err != nil {
+		return
+	}
+	type tally struct {
+		entries int
+		bytes   int64
+	}
+	byFile := map[string]*tally{}
+	for _, info := range infos {
+		if info.Entry == nil {
+			continue
+		}
+		t := byFile[info.Entry.File]
+		if t == nil {
+			t = &tally{}
+			byFile[info.Entry.File] = t
+		}
+		t.entries++
+		t.bytes += info.Size
+	}
+	for _, st := range all {
+		abs, err := filepath.Abs(st.name)
+		if err != nil {
+			continue
+		}
+		if t := byFile[abs]; t != nil {
+			st.cacheState = fmt.Sprintf("%d cached query state(s), %d bytes", t.entries, t.bytes)
+		} else {
+			st.cacheState = "no cached query state"
+		}
+	}
+}
+
 func printStats(w io.Writer, st *fileStats) {
 	fmt.Fprintf(w, "%s:\n", st.name)
 	fmt.Fprintf(w, "  records: %d   entries: %d   context-tree nodes: %d   globals: %d\n",
 		st.records, st.entries, st.treeNodes, st.globals)
 	if st.indexState != "" {
 		fmt.Fprintf(w, "  index: %s\n", st.indexState)
+	}
+	if st.cacheState != "" {
+		fmt.Fprintf(w, "  qcache: %s\n", st.cacheState)
 	}
 	names := make([]string, 0, len(st.attrs))
 	for n := range st.attrs {

@@ -211,6 +211,7 @@ func (m *monitor) render(w *os.File, prev, cur *scrapeState) {
 			humanNS(value(cur, "caligo_rnet_sync_lag_ns")))
 	}
 	renderIndexLine(w, cur)
+	renderCacheLine(w, cur)
 	fmt.Fprintln(w)
 	m.renderQueryTable(w, cur)
 }
@@ -250,6 +251,7 @@ func (m *monitor) renderOnce(w *os.File, cur *scrapeState) {
 			humanNS(value(cur, "caligo_rnet_sync_lag_ns")))
 	}
 	renderIndexLine(w, cur)
+	renderCacheLine(w, cur)
 	fmt.Fprintln(w)
 	m.renderQueryTable(w, cur)
 }
@@ -271,6 +273,28 @@ func renderIndexLine(w *os.File, cur *scrapeState) {
 		fallbacks)
 }
 
+// renderCacheLine prints aggregate-cache totals when any cached query
+// has run (all counters zero → the line is omitted).
+func renderCacheLine(w *os.File, cur *scrapeState) {
+	hits := value(cur, "caligo_qcache_hits")
+	misses := value(cur, "caligo_qcache_misses")
+	incr := value(cur, "caligo_qcache_incremental")
+	if hits == 0 && misses == 0 && incr == 0 {
+		return
+	}
+	hitRate := 0.0
+	if total := hits + misses + incr; total > 0 {
+		// incremental scans reuse the prefix: count them as hits
+		hitRate = (hits + incr) / total * 100
+	}
+	fmt.Fprintf(w, "qcache   hit %5.1f%%   hits %8.0f   misses %8.0f   incremental %6.0f   skipped %10s   store %10s/%.0f entries   fallbacks %4.0f\n",
+		hitRate, hits, misses, incr,
+		humanBytes(value(cur, "caligo_qcache_bytes_skipped")),
+		humanBytes(value(cur, "caligo_qcache_store_bytes")),
+		value(cur, "caligo_qcache_store_entries"),
+		value(cur, "caligo_qcache_fallback"))
+}
+
 // renderQueryTable prints the recent-queries table and the phase
 // breakdown of the slowest one (shared by live and -once modes).
 func (m *monitor) renderQueryTable(w *os.File, cur *scrapeState) {
@@ -279,8 +303,8 @@ func (m *monitor) renderQueryTable(w *os.File, cur *scrapeState) {
 		fmt.Fprintln(w, "no queries recorded (telemetry off, or nothing has run)")
 		return
 	}
-	fmt.Fprintf(w, "%-5s %-8s %-10s %12s %10s %6s %6s  %s\n",
-		"QID", "ENGINE", "TIME", "RECORDS", "BYTES", "ROWS", "FLAGS", "QUERY")
+	fmt.Fprintf(w, "%-5s %-8s %-10s %12s %10s %6s %6s %6s  %s\n",
+		"QID", "ENGINE", "TIME", "RECORDS", "BYTES", "ROWS", "CACHE", "FLAGS", "QUERY")
 	shown := 0
 	for _, q := range qs {
 		if shown >= m.queries {
@@ -296,13 +320,17 @@ func (m *monitor) renderQueryTable(w *os.File, cur *scrapeState) {
 		if q.Err != "" {
 			flags += "E"
 		}
+		cache := "-"
+		if total := q.CacheHits + q.CacheMisses + q.CacheIncremental; total > 0 {
+			cache = fmt.Sprintf("%.0f%%", float64(q.CacheHits+q.CacheIncremental)/float64(total)*100)
+		}
 		text := q.Text
 		if len(text) > 48 {
 			text = text[:45] + "..."
 		}
-		fmt.Fprintf(w, "%-5d %-8s %-10s %12d %10s %6d %6s  %s\n",
+		fmt.Fprintf(w, "%-5d %-8s %-10s %12d %10s %6d %6s %6s  %s\n",
 			q.ID, q.Engine, humanNS(float64(q.DurationNS)),
-			q.Records, humanBytes(float64(q.Bytes)), q.Rows, flags, text)
+			q.Records, humanBytes(float64(q.Bytes)), q.Rows, cache, flags, text)
 		shown++
 	}
 	// phase breakdown of the slowest recent query

@@ -603,6 +603,23 @@ func hashReader(f *os.File) (quick, full uint64, size int64, err error) {
 	return q, h.Sum64(), size, nil
 }
 
+// QuickHashPrefix computes the quick staleness hash over the first n
+// bytes of the open file, exactly as quickHashFile would hash a file of
+// size n. It is the watermark identity check of the query-state cache
+// (internal/qcache): a cache entry covering the first n bytes of a file
+// stays valid for an appended file precisely when this hash still
+// matches. n must not exceed the file's current size.
+func QuickHashPrefix(f *os.File, n int64) (uint64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 || n > st.Size() {
+		return 0, fmt.Errorf("calformat: prefix %d out of range (file size %d)", n, st.Size())
+	}
+	return quickHashFile(f, n)
+}
+
 // quickHashFile computes the O(1)-read staleness hash of an open file.
 func quickHashFile(f *os.File, size int64) (uint64, error) {
 	h := newFNV()

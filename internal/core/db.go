@@ -339,6 +339,22 @@ func (db *DB) Merge(other *DB) error {
 	if !db.scheme.Equal(other.scheme) {
 		return fmt.Errorf("core: merge: schemes differ: %q vs %q", db.scheme, other.scheme)
 	}
+	// propagate metadata the source learned over the wire: if other's
+	// records came from decoded state (e.g. a cache hit) and our registry
+	// never saw the target attributes, their resolved types and nested
+	// flags must survive the merge or results render with Float defaults
+	for i := range other.scheme.Ops {
+		if db.wireTypes == nil || db.wireTypes[i] == attr.Inv {
+			if other.wireTypes != nil {
+				db.noteWireType(i, other.wireTypes[i])
+			}
+		}
+	}
+	for pos := range other.scheme.Key {
+		if other.wireNested != nil {
+			db.noteWireNested(pos, other.wireNested[pos])
+		}
+	}
 	for _, sb := range other.order {
 		b, ok := db.buckets[sb.key]
 		if !ok {

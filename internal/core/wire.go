@@ -209,8 +209,10 @@ func (db *DB) MergeEncodedState(data []byte) error {
 	nBuckets := r.uvarint()
 	processed := r.uvarint()
 
-	const maxReasonable = 1 << 28 // guard against corrupt counts
-	if r.err == nil && nBuckets > maxReasonable {
+	// guard against corrupt counts: every bucket and value needs at least
+	// one byte of input, so any count beyond the remaining buffer cannot
+	// be real — and must not size an allocation
+	if r.err == nil && nBuckets > uint64(len(r.buf)-r.pos) {
 		return fmt.Errorf("core: decode state: implausible bucket count %d", nBuckets)
 	}
 
@@ -226,7 +228,7 @@ func (db *DB) MergeEncodedState(data []byte) error {
 		for gi := uint64(0); gi < nGroups && r.err == nil; gi++ {
 			pos := r.uvarint()
 			nVals := r.uvarint()
-			if r.err == nil && nVals > maxReasonable {
+			if r.err == nil && nVals > uint64(len(r.buf)-r.pos) {
 				return fmt.Errorf("core: decode state: implausible value count %d", nVals)
 			}
 			vals := make([]attr.Variant, 0, nVals)
@@ -240,6 +242,20 @@ func (db *DB) MergeEncodedState(data []byte) error {
 		}
 		if r.err != nil {
 			return r.err
+		}
+		// histogram bins are sized by the scheme (HistBins + under/overflow)
+		// and present whenever the accumulator saw input; accepting any
+		// other shape would panic in merge or render later
+		for i := range accs {
+			op := &db.scheme.Ops[i]
+			if op.Kind == OpHistogram {
+				if (accs[i].bins != nil || accs[i].seen) && len(accs[i].bins) != op.HistBins+2 {
+					return fmt.Errorf("core: decode state: op %d: histogram size %d, want %d",
+						i, len(accs[i].bins), op.HistBins+2)
+				}
+			} else if accs[i].bins != nil {
+				return fmt.Errorf("core: decode state: op %d: unexpected histogram bins", i)
+			}
 		}
 		if err := db.mergeBucket(groups, accs); err != nil {
 			return err
@@ -265,7 +281,7 @@ func decodeAccum(r *wireReader) accum {
 	a.max = r.variant()
 	if flags&2 != 0 {
 		n := r.uvarint()
-		if r.err == nil && n > 1<<20 {
+		if r.err == nil && (n > 1<<20 || n > uint64(len(r.buf)-r.pos)) {
 			r.fail("implausible histogram size %d", n)
 			return a
 		}

@@ -57,9 +57,14 @@ type QueryStats struct {
 	Shards     int           `json:"shards,omitempty"`
 	ShardSkew  float64       `json:"shard_skew,omitempty"` // (max-min)/max shard wall time
 	Phases     []PhaseTiming `json:"phases,omitempty"`
-	Err        string        `json:"error,omitempty"`
-	Slow       bool          `json:"slow,omitempty"`
-	Done       bool          `json:"done"`
+
+	// Aggregate-cache outcome per input file (zero when caching was off).
+	CacheHits        uint64 `json:"cache_hits,omitempty"`
+	CacheMisses      uint64 `json:"cache_misses,omitempty"`
+	CacheIncremental uint64 `json:"cache_incremental,omitempty"`
+	Err              string `json:"error,omitempty"`
+	Slow             bool   `json:"slow,omitempty"`
+	Done             bool   `json:"done"`
 }
 
 // queryIDs issues process-unique query IDs, starting at 1.
@@ -187,6 +192,19 @@ func (aq *ActiveQuery) ShardDone(d time.Duration, records, bytes uint64) {
 	aq.stats.Records += records
 	aq.stats.Bytes += bytes
 	aq.shardNS = append(aq.shardNS, d.Nanoseconds())
+	aq.mu.Unlock()
+}
+
+// CacheStats records the query's aggregate-cache outcome counts
+// (per-file hits, misses, and append-incremental scans).
+func (aq *ActiveQuery) CacheStats(hits, misses, incremental uint64) {
+	if aq == nil {
+		return
+	}
+	aq.mu.Lock()
+	aq.stats.CacheHits += hits
+	aq.stats.CacheMisses += misses
+	aq.stats.CacheIncremental += incremental
 	aq.mu.Unlock()
 }
 

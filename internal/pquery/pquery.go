@@ -158,6 +158,11 @@ func run(world *mpi.World, queryText string, in rankInput, fanin int, aq *obs.Ac
 	if result == nil {
 		return nil, fmt.Errorf("pquery: no result produced at root")
 	}
+	if in.plan != nil {
+		if st := in.plan.Stats(); st.CacheHits+st.CacheMisses+st.CacheIncremental > 0 {
+			aq.CacheStats(uint64(st.CacheHits), uint64(st.CacheMisses), uint64(st.CacheIncremental))
+		}
+	}
 	result.Timing.TotalWall = time.Since(start)
 	return result, nil
 }

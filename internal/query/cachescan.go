@@ -1,0 +1,311 @@
+package query
+
+// Aggregate-cache scan routing: the bridge between the per-file state
+// cache (internal/qcache) and the scan planner. PlanUnits classifies
+// each input file — hit (cached state covers the whole file), incremental
+// (the file grew past the cached watermark), or miss — and ScanUnit
+// executes the classified unit:
+//
+//   - hit: the cached core.DB state blob is decoded into a private
+//     database and merged into the engine; the file is never opened for
+//     decoding (only the 128KiB identity hash was read at plan time).
+//   - incremental: the reader replays the prefix's metadata spans
+//     (attr/node/globals definitions later records depend on), seeks to
+//     the watermark, decodes only the appended tail into a private
+//     engine seeded with the cached state, merges, and re-stores under
+//     the new watermark.
+//   - miss: the unit scans normally — but into a private engine whose
+//     per-file state is stored before merging into the caller's engine.
+//
+// Both the hit and miss paths merge a private per-file database into the
+// engine, so grouping is identical warm and cold — the same argument
+// that makes sharded execution byte-identical to serial. Every
+// validation failure (state blob undecodable, replay desync, file
+// changed mid-scan) degrades to a full scan of the file and bumps
+// caligo.qcache.fallback; the query answer is never wrong, only slower.
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"caligo/internal/attr"
+	"caligo/internal/calformat"
+	"caligo/internal/contexttree"
+	"caligo/internal/qcache"
+	"caligo/internal/snapshot"
+	"caligo/internal/trace"
+)
+
+// Unit cache routing modes.
+const (
+	cacheNone = iota // cache disabled for this unit; scan normally, no store
+	cacheHitMode
+	cacheIncrMode
+	cacheMissMode
+)
+
+// maxMetaSpans bounds a stored entry's metadata span list; a file more
+// fragmented than this records one whole-prefix span instead (the
+// incremental scan then text-scans the prefix rather than seeking).
+const maxMetaSpans = 64
+
+// missMode tags units planned outside the cache classification switch.
+func (p *ScanPlan) missMode() int {
+	if p.cache != nil {
+		return cacheMissMode
+	}
+	return cacheNone
+}
+
+// noteCacheFallback records one degraded cache path.
+func (p *ScanPlan) noteCacheFallback() {
+	qcache.TelFallback.Inc()
+	p.mu.Lock()
+	p.stats.CacheFallbacks++
+	p.mu.Unlock()
+}
+
+// planCache classifies one input file against the cache: hit (entry
+// covers the file exactly), incremental (the file grew and the entry's
+// prefix is intact), or miss. cacheNone means the file could not be
+// examined; the scan will surface the real error.
+func (p *ScanPlan) planCache(file string) (int, *qcache.Entry) {
+	st, err := os.Stat(file)
+	if err != nil {
+		return cacheNone, nil
+	}
+	size := st.Size()
+	e := p.cache.Lookup(p.cachePlan, file)
+	if e == nil {
+		return cacheMissMode, nil
+	}
+	if e.Watermark <= 0 || e.Watermark > size {
+		// truncated or rewritten shorter since stored: stale
+		p.noteCacheFallback()
+		return cacheMissMode, nil
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return cacheNone, nil
+	}
+	h, err := calformat.QuickHashPrefix(f, e.Watermark)
+	f.Close()
+	if err != nil || h != e.PrefixHash {
+		// the covered prefix changed in place: stale
+		p.noteCacheFallback()
+		return cacheMissMode, nil
+	}
+	if e.Watermark == size {
+		return cacheHitMode, e
+	}
+	return cacheIncrMode, e
+}
+
+// scanCacheHit serves a unit entirely from cached state. The blob is
+// validated into a private database first, so a bad entry cannot leave
+// the engine half-merged — it degrades to a stored full scan instead.
+func (p *ScanPlan) scanCacheHit(eng *Engine, u Unit, reg *attr.Registry, tree *contexttree.Tree) (int, int64, error) {
+	e := u.cacheEntry
+	priv, err := New(p.q, reg)
+	if err == nil && priv.db != nil && eng.db != nil {
+		err = priv.db.MergeEncodedState(e.State)
+	} else if err == nil {
+		err = fmt.Errorf("query: cache hit on non-aggregating engine")
+	}
+	if err != nil {
+		p.noteCacheFallback()
+		u.cacheMode = cacheMissMode
+		u.cacheEntry = nil
+		return p.scanCacheMiss(eng, u, reg, tree)
+	}
+	if err := eng.db.Merge(priv.db); err != nil {
+		return 0, 0, err
+	}
+	p.mu.Lock()
+	p.stats.CacheBytesSkipped += e.Watermark
+	p.mu.Unlock()
+	qcache.TelBytesSkipped.Add(uint64(e.Watermark))
+	sp := trace.Begin("query.cache")
+	sp.ArgInt("bytes_skipped", e.Watermark)
+	sp.End()
+	return int(e.Records), 0, nil
+}
+
+// scanCacheMiss scans the unit in full through a private engine, stores
+// the resulting per-file state, and merges it into the caller's engine.
+func (p *ScanPlan) scanCacheMiss(eng *Engine, u Unit, reg *attr.Registry, tree *contexttree.Tree) (int, int64, error) {
+	if eng.db == nil {
+		n, bytes, _, err := p.scanUnitInto(eng, u, reg, tree)
+		return n, bytes, err
+	}
+	priv, err := New(p.q, reg)
+	if err != nil {
+		return 0, 0, err
+	}
+	n, bytes, endOff, err := p.scanUnitInto(priv, u, reg, tree)
+	if err != nil {
+		return n, bytes, err
+	}
+	p.putEntry(u.File, priv, endOff, uint64(n), metaSpansOf(u.Idx, endOff))
+	if err := eng.db.Merge(priv.db); err != nil {
+		return n, bytes, err
+	}
+	return n, bytes, nil
+}
+
+// scanCacheIncr seeds a private engine with the cached state, decodes
+// only the file's appended tail, merges, and re-stores under the new
+// watermark. Any replay problem degrades to a stored full scan.
+func (p *ScanPlan) scanCacheIncr(eng *Engine, u Unit, reg *attr.Registry, tree *contexttree.Tree) (int, int64, error) {
+	e := u.cacheEntry
+	priv, err := New(p.q, reg)
+	if err == nil && priv.db != nil && eng.db != nil {
+		err = priv.db.MergeEncodedState(e.State)
+	} else if err == nil {
+		err = fmt.Errorf("query: cache entry on non-aggregating engine")
+	}
+	if err != nil {
+		p.noteCacheFallback()
+		u.cacheMode = cacheMissMode
+		u.cacheEntry = nil
+		return p.scanCacheMiss(eng, u, reg, tree)
+	}
+	f, err := os.Open(u.File)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	rd := calformat.NewReader(f, reg, tree)
+	if p.proj != nil {
+		rd.SetProjection(p.proj)
+	}
+	// replay the prefix's metadata definitions, seeking over record runs
+	replayErr := func() error {
+		for _, s := range e.MetaSpans {
+			if s.Off > rd.Offset() {
+				if err := rd.SkipTo(s.Off); err != nil {
+					return err
+				}
+			}
+			if err := rd.ScanMetaUntil(s.Off + s.Len); err != nil {
+				return err
+			}
+		}
+		if e.Watermark > rd.Offset() {
+			return rd.SkipTo(e.Watermark)
+		}
+		return nil
+	}()
+	if replayErr != nil {
+		p.noteCacheFallback()
+		u.cacheMode = cacheMissMode
+		u.cacheEntry = nil
+		return p.scanCacheMiss(eng, u, reg, tree)
+	}
+	metaBefore := rd.MetaLines()
+	records := 0
+	var rec snapshot.FlatRecord
+	for {
+		err := rd.NextInto(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return records, rd.Offset() - e.Watermark, fmt.Errorf("%s: %w", u.File, err)
+		}
+		if err := priv.Process(rec); err != nil {
+			return records, rd.Offset() - e.Watermark, err
+		}
+		records++
+	}
+	endOff := rd.Offset()
+	tail := endOff - e.Watermark
+	spans := e.MetaSpans
+	if rd.MetaLines() > metaBefore {
+		// the tail holds new definitions: future tails must replay it too
+		spans = append(append([]qcache.Span{}, spans...), qcache.Span{Off: e.Watermark, Len: tail})
+	}
+	p.putEntry(u.File, priv, endOff, e.Records+uint64(records), spans)
+	if err := eng.db.Merge(priv.db); err != nil {
+		return records, tail, err
+	}
+	p.mu.Lock()
+	p.stats.CacheBytesSkipped += e.Watermark
+	p.mu.Unlock()
+	qcache.TelBytesSkipped.Add(uint64(e.Watermark))
+	sp := trace.Begin("query.cache")
+	sp.ArgInt("bytes_skipped", e.Watermark)
+	sp.End()
+	return int(e.Records) + records, tail, nil
+}
+
+// putEntry stores a unit's per-file state, best-effort: a file that
+// changed mid-scan, a watermark off a line boundary, or any store error
+// simply leaves no entry behind.
+func (p *ScanPlan) putEntry(file string, priv *Engine, endOff int64, records uint64, spans []qcache.Span) {
+	if endOff <= 0 {
+		return
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() != endOff {
+		return // grew or shrank since the scan; the watermark is not the file
+	}
+	var last [1]byte
+	if _, err := f.ReadAt(last[:], endOff-1); err != nil || last[0] != '\n' {
+		return // torn final line; a tail scan could not resume here
+	}
+	h, err := calformat.QuickHashPrefix(f, endOff)
+	if err != nil {
+		return
+	}
+	if len(spans) > maxMetaSpans {
+		spans = []qcache.Span{{Off: 0, Len: endOff}}
+	}
+	e := &qcache.Entry{
+		Plan:       p.cachePlan,
+		File:       file,
+		Watermark:  endOff,
+		PrefixHash: h,
+		Records:    records,
+		MetaSpans:  spans,
+		State:      priv.db.EncodeState(),
+	}
+	if p.cache.Put(e) == nil {
+		p.mu.Lock()
+		p.stats.CacheStores++
+		p.mu.Unlock()
+		sp := trace.Begin("query.cache")
+		sp.ArgInt("stores", 1)
+		sp.End()
+	}
+}
+
+// metaSpansOf derives the metadata span list of a freshly scanned file
+// from its block index: the byte ranges of blocks holding attr, node, or
+// globals lines, coalesced. Without an index the whole prefix is one
+// span (the incremental scan then replays it with a metadata-only text
+// scan, still skipping record decode).
+func metaSpansOf(idx *calformat.Index, endOff int64) []qcache.Span {
+	if idx == nil {
+		return []qcache.Span{{Off: 0, Len: endOff}}
+	}
+	var spans []qcache.Span
+	for i := range idx.Blocks {
+		b := &idx.Blocks[i]
+		if b.MetaLines == 0 {
+			continue
+		}
+		if n := len(spans); n > 0 && spans[n-1].Off+spans[n-1].Len == b.Offset {
+			spans[n-1].Len += b.Length
+		} else {
+			spans = append(spans, qcache.Span{Off: b.Offset, Len: b.Length})
+		}
+	}
+	return spans
+}

@@ -29,6 +29,10 @@ type PlanOptions struct {
 	// UseIndex marks index-aware scanning (sidecar block indexes consulted
 	// for file/block pruning and projection pushdown).
 	UseIndex bool
+	// Cache marks per-file aggregate-state caching; CacheDir is its store
+	// directory (shown in the plan).
+	Cache    bool
+	CacheDir string
 }
 
 // PlanStat is one measured quantity attributed to a plan node, summed
@@ -104,6 +108,19 @@ func BuildPlan(q *calql.Query, opts PlanOptions) (*Plan, error) {
 		p.add("index", strings.Join(parts, "; "))
 	} else {
 		p.add("index", "disabled (full scan)")
+	}
+
+	if opts.Cache {
+		if !inner.HasAggregation() {
+			p.add("cache", "inactive (non-aggregating query)")
+		} else {
+			detail := "per-file aggregate state"
+			if opts.CacheDir != "" {
+				detail += " in " + opts.CacheDir
+			}
+			detail += "; hit merges cached state, append scans the tail only"
+			p.add("cache", detail)
+		}
 	}
 
 	switch {

@@ -1,10 +1,14 @@
 package query
 
 import (
+	"os"
 	"strconv"
 	"testing"
 
 	"caligo/internal/attr"
+	"caligo/internal/calformat"
+	"caligo/internal/contexttree"
+	"caligo/internal/qcache"
 	"caligo/internal/snapshot"
 )
 
@@ -46,20 +50,7 @@ func FuzzIndexedQueryDiff(f *testing.F) {
 		block := int(blockRecs)%64 + 1
 		qt := fuzzQueries[int(qsel)%len(fuzzQueries)]
 		fx := newFixture(t)
-		kernels := []string{"advec", "pdv", "flux", "calc-dt"}
-		recs := make([]snapshot.FlatRecord, n)
-		for i := range recs {
-			h := uint32(i)*2654435761 + uint32(seed)
-			var r snapshot.FlatRecord
-			if h%7 != 3 { // some records miss the kernel attribute
-				r = append(r, attr.Entry{Attr: fx.kernel, Value: attr.StringV(kernels[h%4])})
-			}
-			if h%5 != 2 { // and some miss the rank
-				r = append(r, attr.Entry{Attr: fx.rank, Value: attr.IntV(int64(h % 13))})
-			}
-			r = append(r, attr.Entry{Attr: fx.dur, Value: attr.IntV(int64(h%2000) - 500)})
-			recs[i] = r
-		}
+		recs := fuzzRecords(fx, n, seed)
 		dir := t.TempDir()
 		files := []string{
 			writeIndexedFile(t, dir, "a.cali", fx.reg, recs[:n/2], block),
@@ -72,6 +63,112 @@ func FuzzIndexedQueryDiff(f *testing.F) {
 				t.Errorf("n=%d block=%d jobs=%s query %q: indexed output differs\nindexed:\n%s\nfull scan:\n%s",
 					n, block, strconv.Itoa(jobs), qt, got, want)
 			}
+		}
+	})
+}
+
+// fuzzRecords generates the shared record population: some records miss
+// the kernel attribute, some miss the rank, durations span negatives.
+func fuzzRecords(fx *fixture, n int, seed uint16) []snapshot.FlatRecord {
+	kernels := []string{"advec", "pdv", "flux", "calc-dt"}
+	recs := make([]snapshot.FlatRecord, n)
+	for i := range recs {
+		h := uint32(i)*2654435761 + uint32(seed)
+		var r snapshot.FlatRecord
+		if h%7 != 3 {
+			r = append(r, attr.Entry{Attr: fx.kernel, Value: attr.StringV(kernels[h%4])})
+		}
+		if h%5 != 2 {
+			r = append(r, attr.Entry{Attr: fx.rank, Value: attr.IntV(int64(h % 13))})
+		}
+		r = append(r, attr.Entry{Attr: fx.dur, Value: attr.IntV(int64(h%2000) - 500)})
+		recs[i] = r
+	}
+	return recs
+}
+
+// appendStream appends recs to an existing .cali file as a fresh
+// self-describing stream (a new writer re-emits the metadata lines it
+// needs), the way a restarted recorder extends a capture file.
+func appendStream(t *testing.T, path string, reg *attr.Registry, recs []snapshot.FlatRecord) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := calformat.NewWriter(f, reg, contexttree.New())
+	for _, r := range recs {
+		if err := w.WriteFlat(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzCachedQueryDiff is the cache-layer differential oracle: for random
+// record populations, block sizes, and query shapes, cached execution —
+// cold (store), warm (hit), after an append (incremental tail scan), and
+// warm sharded — must render byte-identical output to an uncached scan.
+// Any divergence means the cached state, the file-identity check, or the
+// tail replay is unsound.
+func FuzzCachedQueryDiff(f *testing.F) {
+	f.Add(uint16(50), uint16(8), uint16(1), uint16(0), uint16(10))
+	f.Add(uint16(200), uint16(3), uint16(2), uint16(12345), uint16(0))
+	f.Add(uint16(7), uint16(1), uint16(7), uint16(999), uint16(1))
+	f.Add(uint16(300), uint16(64), uint16(12), uint16(7), uint16(33))
+	f.Add(uint16(129), uint16(16), uint16(9), uint16(54321), uint16(47))
+	f.Add(uint16(64), uint16(4), uint16(14), uint16(22), uint16(64))
+	f.Add(uint16(511), uint16(32), uint16(8), uint16(4242), uint16(5))
+	f.Add(uint16(33), uint16(2), uint16(13), uint16(77), uint16(12))
+	f.Add(uint16(180), uint16(9), uint16(6), uint16(31337), uint16(21))
+	f.Fuzz(func(t *testing.T, nRecs, blockRecs, qsel, seed, tailRecs uint16) {
+		n := int(nRecs)%512 + 1
+		block := int(blockRecs)%64 + 1
+		tail := int(tailRecs) % 64
+		qt := fuzzQueries[int(qsel)%len(fuzzQueries)]
+		fx := newFixture(t)
+		recs := fuzzRecords(fx, n+tail, seed)
+		dir := t.TempDir()
+		files := []string{
+			writeIndexedFile(t, dir, "a.cali", fx.reg, recs[:n/2], block),
+			writeIndexedFile(t, dir, "b.cali", fx.reg, recs[n/2:n], block),
+		}
+		store, err := qcache.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached := ScanOptions{UseIndex: true, Cache: store}
+
+		for _, mode := range []string{"cold", "warm"} {
+			want, _ := runRows(t, qt, files, 1, ScanOptions{})
+			got, _ := runRows(t, qt, files, 1, cached)
+			if got != want {
+				t.Errorf("n=%d block=%d %s query %q: cached output differs\ncached:\n%s\nfull scan:\n%s",
+					n, block, mode, qt, got, want)
+			}
+		}
+
+		// append-then-requery: the grown file's entry must be reused for
+		// its prefix only, with the tail re-aggregated
+		if tail > 0 {
+			appendStream(t, files[1], fx.reg, recs[n:])
+		}
+		want, _ := runRows(t, qt, files, 1, ScanOptions{})
+		got, _ := runRows(t, qt, files, 1, cached)
+		if got != want {
+			t.Errorf("n=%d tail=%d query %q: post-append cached output differs\ncached:\n%s\nfull scan:\n%s",
+				n, tail, qt, got, want)
+		}
+		// warm sharded after the append round
+		gotSharded, _ := runRows(t, qt, files, 4, cached)
+		if gotSharded != want {
+			t.Errorf("n=%d tail=%d query %q: sharded cached output differs\ncached:\n%s\nfull scan:\n%s",
+				n, tail, qt, gotSharded, want)
 		}
 	})
 }

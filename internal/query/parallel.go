@@ -159,6 +159,9 @@ func RunShardedPlan(plan *ScanPlan, q *calql.Query, reg *attr.Registry, files []
 		}
 		root.rows = rows
 	}
+	if st := plan.Stats(); st.CacheHits+st.CacheMisses+st.CacheIncremental > 0 {
+		aq.CacheStats(uint64(st.CacheHits), uint64(st.CacheMisses), uint64(st.CacheIncremental))
+	}
 	// the shared postprocess tail (post-ops, ORDER BY, LIMIT) runs once,
 	// over the fully merged shard 0
 	var postStart time.Time

@@ -42,6 +42,7 @@ import (
 	"caligo/internal/calql"
 	"caligo/internal/contexttree"
 	"caligo/internal/core"
+	"caligo/internal/qcache"
 	"caligo/internal/snapshot"
 	"caligo/internal/telemetry"
 	"caligo/internal/trace"
@@ -64,6 +65,11 @@ type ScanOptions struct {
 	// pushdown, and intra-file sharding. Off, every file is fully decoded
 	// (the pre-index behavior, bit for bit).
 	UseIndex bool
+	// Cache enables the per-file aggregate state cache (internal/qcache):
+	// a valid cached entry replaces the file scan with a state merge, an
+	// append-grown file is scanned from its watermark only, and misses
+	// store their state for next time. Only aggregating queries use it.
+	Cache *qcache.Store
 }
 
 // ScanStats summarize what planning and scanning did, for EXPLAIN
@@ -77,6 +83,14 @@ type ScanStats struct {
 	BlocksPruned  int64
 	BlocksSeeked  int64 // pruned blocks passed by seek (subset of pruned)
 	RecordsPruned int64
+
+	// Aggregate-cache outcome counts (zero unless ScanOptions.Cache set).
+	CacheHits         int64 // files served whole from cached state
+	CacheMisses       int64 // files scanned in full, state stored after
+	CacheIncremental  int64 // appended files scanned from the watermark
+	CacheStores       int64 // entries written (miss + incremental)
+	CacheFallbacks    int64 // cache paths degraded to a full scan
+	CacheBytesSkipped int64 // file bytes not re-read thanks to cached state
 }
 
 // pruneCond is one WHERE condition usable for zone pruning.
@@ -96,6 +110,11 @@ type ScanPlan struct {
 	conds []pruneCond
 	proj  map[string]bool
 
+	// Aggregate-state cache (nil when disabled). Non-aggregating queries
+	// never cache: their output is the record stream, not mergeable state.
+	cache     *qcache.Store
+	cachePlan string // canonical query fingerprint
+
 	mu    sync.Mutex
 	stats ScanStats
 }
@@ -103,6 +122,10 @@ type ScanPlan struct {
 // NewScanPlan compiles the prunable conditions and decode projection of q.
 func NewScanPlan(q *calql.Query, opts ScanOptions) *ScanPlan {
 	p := &ScanPlan{q: q, opts: opts}
+	if opts.Cache != nil && q.HasAggregation() {
+		p.cache = opts.Cache
+		p.cachePlan = qcache.CanonicalPlan(q)
+	}
 	if !opts.UseIndex {
 		return p
 	}
@@ -330,6 +353,11 @@ type Unit struct {
 	Idx     *calformat.Index // nil: plain full scan
 	Skip    []bool           // per-block skip flags (len == len(Idx.Blocks))
 	Lo, Hi  int              // block range to scan
+
+	// Aggregate-cache routing (see cachescan.go). cacheNone means the
+	// unit scans normally with no store afterwards.
+	cacheMode  int
+	cacheEntry *qcache.Entry // hit/incremental: the validated entry
 }
 
 // liveRecords counts the records the unit will actually decode.
@@ -354,9 +382,26 @@ func (p *ScanPlan) PlanUnits(files []string, jobs int) []Unit {
 	sp := trace.Begin("query.index")
 	units := make([]Unit, 0, len(files))
 	var indexed, skipped, fallbacks int64
+	var hits, misses, incr int64
 	for i, f := range files {
+		if p.cache != nil {
+			switch mode, e := p.planCache(f); mode {
+			case cacheHitMode:
+				hits++
+				units = append(units, Unit{FileIdx: i, File: f, cacheMode: cacheHitMode, cacheEntry: e})
+				continue
+			case cacheIncrMode:
+				incr++
+				units = append(units, Unit{FileIdx: i, File: f, cacheMode: cacheIncrMode, cacheEntry: e})
+				continue
+			case cacheMissMode:
+				misses++
+				// fall through to normal index planning; the unit scans in
+				// full and stores its state afterwards
+			}
+		}
 		if !p.opts.UseIndex {
-			units = append(units, Unit{FileIdx: i, File: f})
+			units = append(units, Unit{FileIdx: i, File: f, cacheMode: p.missMode()})
 			continue
 		}
 		idx, err := calformat.LoadIndex(f)
@@ -365,7 +410,7 @@ func (p *ScanPlan) PlanUnits(files []string, jobs int) []Unit {
 				fallbacks++
 				telIdxFallback.Inc()
 			}
-			units = append(units, Unit{FileIdx: i, File: f})
+			units = append(units, Unit{FileIdx: i, File: f, cacheMode: p.missMode()})
 			continue
 		}
 		indexed++
@@ -380,9 +425,11 @@ func (p *ScanPlan) PlanUnits(files []string, jobs int) []Unit {
 			p.mu.Unlock()
 			continue
 		}
-		units = append(units, Unit{FileIdx: i, File: f, Idx: idx, Skip: skipBlock, Hi: len(idx.Blocks)})
+		units = append(units, Unit{FileIdx: i, File: f, Idx: idx, Skip: skipBlock, Hi: len(idx.Blocks), cacheMode: p.missMode()})
 	}
-	if jobs > 1 && len(units) > 0 && len(units) < jobs {
+	// Sub-file units cannot produce storable whole-file state, so the
+	// cache keeps files whole; block pruning within a unit still applies.
+	if jobs > 1 && len(units) > 0 && len(units) < jobs && p.cache == nil {
 		units = splitUnits(units, jobs)
 	}
 	p.mu.Lock()
@@ -390,12 +437,25 @@ func (p *ScanPlan) PlanUnits(files []string, jobs int) []Unit {
 	p.stats.FilesIndexed += indexed
 	p.stats.FilesSkipped += skipped
 	p.stats.Fallbacks += fallbacks
+	p.stats.CacheHits += hits
+	p.stats.CacheMisses += misses
+	p.stats.CacheIncremental += incr
 	p.mu.Unlock()
 	sp.ArgInt("files", int64(len(files)))
 	sp.ArgInt("indexed", indexed)
 	sp.ArgInt("files_skipped", skipped)
 	sp.ArgInt("fallbacks", fallbacks)
 	sp.End()
+	if p.cache != nil {
+		csp := trace.Begin("query.cache")
+		csp.ArgInt("hits", hits)
+		csp.ArgInt("misses", misses)
+		csp.ArgInt("incremental", incr)
+		csp.End()
+		qcache.TelHits.Add(uint64(hits))
+		qcache.TelMisses.Add(uint64(misses))
+		qcache.TelIncremental.Add(uint64(incr))
+	}
 	return units
 }
 
@@ -449,12 +509,28 @@ func splitUnits(units []Unit, jobs int) []Unit {
 
 // ScanUnit feeds the unit's records through the engine: pruned blocks are
 // seeked over (definition-free) or metadata-scanned, live blocks are
-// decoded under the plan's projection. Returns the records decoded and
-// bytes read.
+// decoded under the plan's projection. When the aggregate cache routed
+// the unit (cachescan.go), cached state replaces some or all of the
+// decode work. Returns the records decoded and bytes read.
 func (p *ScanPlan) ScanUnit(eng *Engine, u Unit, reg *attr.Registry, tree *contexttree.Tree) (int, int64, error) {
+	switch u.cacheMode {
+	case cacheHitMode:
+		return p.scanCacheHit(eng, u, reg, tree)
+	case cacheIncrMode:
+		return p.scanCacheIncr(eng, u, reg, tree)
+	case cacheMissMode:
+		return p.scanCacheMiss(eng, u, reg, tree)
+	}
+	n, bytes, _, err := p.scanUnitInto(eng, u, reg, tree)
+	return n, bytes, err
+}
+
+// scanUnitInto is the cache-oblivious scan body. The extra return is the
+// reader's final byte offset — the watermark a stored cache entry covers.
+func (p *ScanPlan) scanUnitInto(eng *Engine, u Unit, reg *attr.Registry, tree *contexttree.Tree) (int, int64, int64, error) {
 	f, err := os.Open(u.File)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer f.Close()
 	rd := calformat.NewReader(f, reg, tree)
@@ -472,14 +548,14 @@ func (p *ScanPlan) ScanUnit(eng *Engine, u Unit, reg *attr.Registry, tree *conte
 				break
 			}
 			if err != nil {
-				return records, rd.Offset(), fmt.Errorf("%s: %w", u.File, err)
+				return records, rd.Offset(), rd.Offset(), fmt.Errorf("%s: %w", u.File, err)
 			}
 			if err := eng.Process(rec); err != nil {
-				return records, rd.Offset(), err
+				return records, rd.Offset(), rd.Offset(), err
 			}
 			records++
 		}
-		return records, rd.Offset(), nil
+		return records, rd.Offset(), rd.Offset(), nil
 	}
 
 	sp := trace.Begin("query.index")
@@ -531,11 +607,11 @@ func (p *ScanPlan) ScanUnit(eng *Engine, u Unit, reg *attr.Registry, tree *conte
 		case actSeek:
 			seekedBytes += runEnd - rd.Offset()
 			if err := rd.SkipTo(runEnd); err != nil {
-				return records, 0, fmt.Errorf("%s: %w", u.File, err)
+				return records, 0, 0, fmt.Errorf("%s: %w", u.File, err)
 			}
 		case actMeta:
 			if err := rd.ScanMetaUntil(runEnd); err != nil {
-				return records, 0, fmt.Errorf("%s: %w", u.File, err)
+				return records, 0, 0, fmt.Errorf("%s: %w", u.File, err)
 			}
 		case actFull:
 			rd.SetLimit(runEnd)
@@ -545,10 +621,10 @@ func (p *ScanPlan) ScanUnit(eng *Engine, u Unit, reg *attr.Registry, tree *conte
 					break
 				}
 				if err != nil {
-					return records, 0, fmt.Errorf("%s: %w", u.File, err)
+					return records, 0, 0, fmt.Errorf("%s: %w", u.File, err)
 				}
 				if err := eng.Process(rec); err != nil {
-					return records, 0, err
+					return records, 0, 0, err
 				}
 				records++
 			}
@@ -570,7 +646,7 @@ func (p *ScanPlan) ScanUnit(eng *Engine, u Unit, reg *attr.Registry, tree *conte
 	sp.ArgInt("blocks_pruned", pruned)
 	sp.ArgInt("blocks_seeked", seeked)
 	sp.ArgInt("records_pruned", recsPruned)
-	return records, rd.Offset() - seekedBytes, nil
+	return records, rd.Offset() - seekedBytes, rd.Offset(), nil
 }
 
 // ScanFiles is the serial scan loop: plan the files as one worker's units
