@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench-smoke bench-json bench-compare fuzz-seed smoke prof-smoke index-smoke cache-smoke check clean
+.PHONY: build vet test test-race bench-smoke bench-json bench-calibrate bench-compare fuzz-seed smoke prof-smoke index-smoke cache-smoke history-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -19,12 +19,14 @@ test-race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Measure the span tracer's overhead (enabled and disabled paths) and
-# record the results as machine-readable JSON; the disabled path must
-# report 0 allocs/op.
+# Measure the observability overhead paths — the span tracer and the
+# telemetry-history recorder (enabled and disabled) — and record the
+# results as machine-readable JSON; the disabled paths must report
+# 0 allocs/op.
 bench-json:
 	@if [ -f BENCH_trace.json ]; then cp BENCH_trace.json BENCH_trace.prev.json; fi
-	$(GO) test -run '^$$' -bench 'BenchmarkTraceOverhead' -benchmem ./internal/trace/ \
+	$(GO) test -run '^$$' -bench 'BenchmarkTraceOverhead|BenchmarkHistoryCapture' -benchmem \
+		./internal/trace/ ./internal/obs/history/ \
 		| $(GO) run ./cmd/benchjson > BENCH_trace.json
 	@cat BENCH_trace.json
 	@if [ -f BENCH_query.json ]; then cp BENCH_query.json BENCH_query.prev.json; fi
@@ -33,27 +35,50 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > BENCH_query.json
 	@cat BENCH_query.json
 
+# Measure per-benchmark run-to-run noise: repeat the bench-json suites
+# CALIBRATE_RUNS times on an otherwise-idle host and record each
+# benchmark's observed jitter (max-min)/min as its noise floor in
+# BENCH_noise.json. bench-compare picks the floor up automatically, so a
+# benchmark is only flagged when it regresses beyond both the 15%
+# threshold and its own measured jitter (see docs/OBSERVABILITY.md).
+CALIBRATE_RUNS ?= 3
+bench-calibrate:
+	@rm -f BENCH_run.*.json
+	@for i in $$(seq $(CALIBRATE_RUNS)); do \
+		echo "calibration run $$i/$(CALIBRATE_RUNS)"; \
+		{ $(GO) test -run '^$$' -bench 'BenchmarkTraceOverhead|BenchmarkHistoryCapture' -benchmem \
+			./internal/trace/ ./internal/obs/history/; \
+		  $(GO) test -run '^$$' -bench 'QueryFilesSharded|WhereCompiled|WhereEvalCondition|SortRows|BenchmarkMerge|IndexedScan|CachedQuery' \
+			-benchmem ./calql/ ./internal/query/ ./internal/core/; } \
+			| $(GO) run ./cmd/benchjson > BENCH_run.$$i.json || exit 1; \
+	done
+	$(GO) run ./cmd/benchjson -calibrate BENCH_noise.json BENCH_run.*.json
+	@rm -f BENCH_run.*.json
+
 # Diff the BENCH JSON snapshots bench-json took against the fresh ones
 # and fail on >15% regression in ns/op or allocs/op. Gates both the query
 # benchmarks and the tracing/telemetry overhead benchmarks (one missing
 # trace snapshot pair — e.g. the first run after this gate was added — is
-# skipped rather than failed).
+# skipped rather than failed). When bench-calibrate has produced
+# BENCH_noise.json, per-benchmark noise floors widen the ns/op threshold
+# and uniform host drift is rescaled away.
 OLD ?= BENCH_query.prev.json
 NEW ?= BENCH_query.json
 TRACE_OLD ?= BENCH_trace.prev.json
 TRACE_NEW ?= BENCH_trace.json
 bench-compare:
-	@if [ -f $(TRACE_OLD) ] && [ -f $(TRACE_NEW) ]; then \
-		$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW) $(TRACE_OLD) $(TRACE_NEW); \
+	@NOISE=""; if [ -f BENCH_noise.json ]; then NOISE="-noise BENCH_noise.json"; fi; \
+	if [ -f $(TRACE_OLD) ] && [ -f $(TRACE_NEW) ]; then \
+		$(GO) run ./cmd/benchjson -compare $$NOISE $(OLD) $(NEW) $(TRACE_OLD) $(TRACE_NEW); \
 	else \
 		echo "bench-compare: no $(TRACE_OLD) pair yet, gating query benchmarks only"; \
-		$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW); \
+		$(GO) run ./cmd/benchjson -compare $$NOISE $(OLD) $(NEW); \
 	fi
 
 # Run the fuzz targets over their seed corpora only (no fuzzing time);
 # regressions on checked-in seeds fail fast.
 fuzz-seed:
-	$(GO) test -run Fuzz ./internal/calql ./internal/calformat ./internal/core ./internal/prof ./internal/query
+	$(GO) test -run Fuzz ./internal/calql ./internal/calformat ./internal/core ./internal/obs/history ./internal/prof ./internal/query
 
 # Self-profiling smoke test: capture a 1s CPU window of the test process,
 # convert it to .cali, and answer the flagship flame question with CalQL
@@ -74,13 +99,22 @@ index-smoke:
 cache-smoke:
 	$(GO) test -run 'TestCache' -count=1 ./calql/
 
+# Telemetry-history smoke test: record windows into the on-disk ring,
+# prove the CalQL time-series over the ring is byte-identical to an
+# offline aggregation of the same records, and prove the cluster-merged
+# view equals a hand-merged union of per-rank scrapes (counters sum,
+# histogram bins and quantiles match a bin-wise merge).
+history-smoke:
+	$(GO) test -run 'TestHistoryCalQLEquality|TestClusterViewEqualsHandMergedScrapes' -count=1 ./internal/obs/history/
+
 # Ops-surface smoke test: start ServeDebug, run a sharded query, scrape
-# /debug/metrics, /debug/queries, and /debug/log over HTTP, and validate
-# the bodies with the same parsers cali-top uses.
+# /debug/metrics, /debug/queries, /debug/log, /debug/history, and
+# /debug/cluster over HTTP, and validate the bodies with the same
+# parsers cali-top uses.
 smoke:
 	$(GO) test -run TestEndpointSmoke -count=1 .
 
-check: build vet test fuzz-seed smoke prof-smoke index-smoke cache-smoke
+check: build vet test fuzz-seed smoke prof-smoke index-smoke cache-smoke history-smoke
 
 clean:
 	$(GO) clean ./...

@@ -16,14 +16,28 @@
 // both the query and the trace snapshots, so tracing/telemetry overhead
 // regressions fail as loudly as engine regressions).
 //
-// With -calibrate BENCH, the named benchmark serves as a host-speed
-// reference: every old ns/op is scaled by the reference's new/old ratio
-// before the delta is computed, so snapshots taken on a faster or more
-// idle machine don't flag untouched benchmarks as regressed (or mask
-// real regressions on a machine that sped up). Only ns/op is calibrated
-// — allocs/op is machine-independent. If the reference benchmark is
-// missing from either file, the pair compares uncalibrated with a
-// warning.
+// With -calibrate BENCH in compare mode, the named benchmark serves as a
+// host-speed reference: every old ns/op is scaled by the reference's
+// new/old ratio before the delta is computed, so snapshots taken on a
+// faster or more idle machine don't flag untouched benchmarks as
+// regressed (or mask real regressions on a machine that sped up). Only
+// ns/op is calibrated — allocs/op is machine-independent. If the
+// reference benchmark is missing from either file, the pair compares
+// uncalibrated with a warning.
+//
+// Outside compare mode, -calibrate switches to noise-floor calibration:
+//
+//	benchjson -calibrate noise.json run1.json run2.json [run3.json ...]
+//	benchjson -compare -noise noise.json old.json new.json
+//
+// Calibration takes two or more repeated runs of the same suite on the
+// same tree and records each benchmark's fractional ns/op spread — its
+// measured noise floor on this host. Compare mode with -noise then (a)
+// removes uniform host drift by rescaling old ns/op by the median
+// new/old ratio across all shared benchmarks (the +20-50% whole-suite
+// shifts a loaded host produces), and (b) raises each benchmark's
+// regression threshold to at least its recorded floor. See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -59,12 +73,22 @@ type Report struct {
 func main() {
 	compareMode := flag.Bool("compare", false, "compare two BENCH JSON files instead of converting stdin")
 	threshold := flag.Float64("threshold", 0.15, "max allowed fractional regression in compare mode")
-	calibrate := flag.String("calibrate", "", "compare mode: normalize ns/op thresholds by this reference benchmark's old/new ratio")
+	calibrate := flag.String("calibrate", "", "compare mode: reference benchmark for host-speed scaling; otherwise: output path for a noise-floor file built from the repeated-run report arguments")
+	noisePath := flag.String("noise", "", "compare mode: apply a -calibrate-produced noise-floor file (median host-drift rescale + per-benchmark thresholds)")
 	flag.Parse()
 	if *compareMode {
 		if flag.NArg() < 2 || flag.NArg()%2 != 0 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs old.json new.json pairs")
 			os.Exit(2)
+		}
+		var noise *NoiseDoc
+		if *noisePath != "" {
+			var err error
+			noise, err = loadNoise(*noisePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(2)
+			}
 		}
 		anyRegressed := false
 		for i := 0; i < flag.NArg(); i += 2 {
@@ -72,7 +96,7 @@ func main() {
 			if flag.NArg() > 2 {
 				fmt.Printf("== %s vs %s ==\n", oldPath, newPath)
 			}
-			regressed, err := compareFilesCalibrated(os.Stdout, oldPath, newPath, *threshold, *calibrate)
+			regressed, err := compareFilesNoise(os.Stdout, oldPath, newPath, *threshold, *calibrate, noise)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchjson:", err)
 				os.Exit(2)
@@ -81,6 +105,13 @@ func main() {
 		}
 		if anyRegressed {
 			os.Exit(1)
+		}
+		return
+	}
+	if *calibrate != "" {
+		if err := calibrateNoise(os.Stdout, *calibrate, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
 		}
 		return
 	}
@@ -104,6 +135,16 @@ func compareFiles(w io.Writer, oldPath, newPath string, threshold float64) (bool
 // before deltas are computed (the reference itself then shows ~0% by
 // construction, so it must be a benchmark this PR does not touch).
 func compareFilesCalibrated(w io.Writer, oldPath, newPath string, threshold float64, calibrate string) (bool, error) {
+	return compareFilesNoise(w, oldPath, newPath, threshold, calibrate, nil)
+}
+
+// compareFilesNoise additionally applies a noise-floor document: uniform
+// host drift is removed by rescaling old ns/op by the median new/old
+// ratio across shared benchmarks (skipped when a -calibrate reference
+// already supplies the scale), and each benchmark's ns/op regression
+// threshold is raised to at least its recorded floor. allocs/op keeps
+// the base threshold — allocation counts don't jitter with host load.
+func compareFilesNoise(w io.Writer, oldPath, newPath string, threshold float64, calibrate string, noise *NoiseDoc) (bool, error) {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return false, err
@@ -135,6 +176,11 @@ func compareFilesCalibrated(w io.Writer, oldPath, newPath string, threshold floa
 			fmt.Fprintf(w, "warning: calibration benchmark %q missing or zero in %s/%s; comparing uncalibrated\n",
 				calibrate, oldPath, newPath)
 		}
+	} else if noise != nil {
+		if m, ok := medianRatio(oldBy, newRep); ok {
+			nsScale = m
+			fmt.Fprintf(w, "noise-calibrated: median host drift %.3f (old ns/op scaled accordingly)\n", m)
+		}
 	}
 	fmt.Fprintf(w, "%-34s %14s %14s %8s   %10s %10s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
@@ -149,8 +195,14 @@ func compareFilesCalibrated(w io.Writer, oldPath, newPath string, threshold floa
 		delete(oldBy, nb.Name)
 		nsDelta := frac(ob.NsPerOp*nsScale, nb.NsPerOp)
 		allocDelta := frac(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp))
+		nsThreshold := threshold
+		if noise != nil {
+			if floor, ok := noise.Benchmarks[nb.Name]; ok && floor > nsThreshold {
+				nsThreshold = floor
+			}
+		}
 		mark := ""
-		if nsDelta > threshold || allocDelta > threshold {
+		if nsDelta > nsThreshold || allocDelta > threshold {
 			mark = "  REGRESSED"
 			regressed = true
 		}

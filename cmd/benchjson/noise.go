@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// NoiseDoc is a noise-floor file produced by calibration mode
+// (`benchjson -calibrate noise.json run1.json run2.json ...`): for each
+// benchmark, the fractional ns/op spread observed across repeated runs of
+// the same suite on the same tree. Compare mode (-noise) raises a
+// benchmark's regression threshold to at least its measured floor, so
+// benchmarks that are inherently jittery on this host stop flagging
+// spuriously while stable ones keep the tight default.
+type NoiseDoc struct {
+	Runs       int                `json:"runs"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// buildNoise computes per-benchmark noise floors from repeated runs: the
+// fractional spread (max-min)/min of ns/op across runs, for benchmarks
+// present in every run. Benchmarks missing from any run are skipped —
+// a floor measured from fewer runs than requested would understate noise.
+func buildNoise(reports []*Report) *NoiseDoc {
+	doc := &NoiseDoc{Runs: len(reports), Benchmarks: map[string]float64{}}
+	if len(reports) == 0 {
+		return doc
+	}
+	type span struct {
+		min, max float64
+		seen     int
+	}
+	spans := map[string]*span{}
+	for _, rep := range reports {
+		for _, b := range rep.Benchmarks {
+			if b.NsPerOp <= 0 {
+				continue
+			}
+			s, ok := spans[b.Name]
+			if !ok {
+				s = &span{min: b.NsPerOp, max: b.NsPerOp}
+				spans[b.Name] = s
+			}
+			if b.NsPerOp < s.min {
+				s.min = b.NsPerOp
+			}
+			if b.NsPerOp > s.max {
+				s.max = b.NsPerOp
+			}
+			s.seen++
+		}
+	}
+	for name, s := range spans {
+		if s.seen != len(reports) || s.min <= 0 {
+			continue
+		}
+		doc.Benchmarks[name] = (s.max - s.min) / s.min
+	}
+	return doc
+}
+
+// calibrateNoise runs calibration mode: load >= 2 repeated-run reports,
+// compute the noise floors, and write the noise-floor file to outPath.
+func calibrateNoise(w io.Writer, outPath string, runPaths []string) error {
+	if len(runPaths) < 2 {
+		return fmt.Errorf("-calibrate needs at least 2 repeated-run report files, got %d", len(runPaths))
+	}
+	reports := make([]*Report, 0, len(runPaths))
+	for _, p := range runPaths {
+		rep, err := loadReport(p)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+	}
+	doc := buildNoise(reports)
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	worst, worstName := 0.0, ""
+	for name, fl := range doc.Benchmarks {
+		if fl > worst {
+			worst, worstName = fl, name
+		}
+	}
+	fmt.Fprintf(w, "wrote %s: noise floors for %d benchmarks from %d runs", outPath, len(doc.Benchmarks), doc.Runs)
+	if worstName != "" {
+		fmt.Fprintf(w, " (noisiest: %s at %.1f%%)", worstName, worst*100)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func loadNoise(path string) (*NoiseDoc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc := &NoiseDoc{}
+	if err := json.NewDecoder(f).Decode(doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// medianRatio returns the median new/old ns/op ratio over benchmarks
+// present in both reports (ok=false with fewer than 3 shared benchmarks —
+// too few for the median to be robust against real regressions).
+func medianRatio(oldBy map[string]Benchmark, newRep *Report) (float64, bool) {
+	var ratios []float64
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok || ob.NsPerOp <= 0 || nb.NsPerOp <= 0 {
+			continue
+		}
+		ratios = append(ratios, nb.NsPerOp/ob.NsPerOp)
+	}
+	if len(ratios) < 3 {
+		return 1, false
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	if len(ratios)%2 == 1 {
+		return ratios[mid], true
+	}
+	return (ratios[mid-1] + ratios[mid]) / 2, true
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildNoise(t *testing.T) {
+	runs := []*Report{
+		{Benchmarks: []Benchmark{
+			{Name: "Stable", NsPerOp: 100},
+			{Name: "Jittery", NsPerOp: 100},
+			{Name: "Flaky", NsPerOp: 50},
+		}},
+		{Benchmarks: []Benchmark{
+			{Name: "Stable", NsPerOp: 102},
+			{Name: "Jittery", NsPerOp: 140},
+			// Flaky missing from this run: no floor must be recorded
+		}},
+		{Benchmarks: []Benchmark{
+			{Name: "Stable", NsPerOp: 101},
+			{Name: "Jittery", NsPerOp: 120},
+		}},
+	}
+	doc := buildNoise(runs)
+	if doc.Runs != 3 {
+		t.Fatalf("Runs = %d, want 3", doc.Runs)
+	}
+	if got := doc.Benchmarks["Stable"]; got < 0.019 || got > 0.021 {
+		t.Errorf("Stable floor = %v, want ~0.02", got)
+	}
+	if got := doc.Benchmarks["Jittery"]; got < 0.39 || got > 0.41 {
+		t.Errorf("Jittery floor = %v, want ~0.40", got)
+	}
+	if _, ok := doc.Benchmarks["Flaky"]; ok {
+		t.Error("Flaky present in only 2/3 runs must not get a floor")
+	}
+}
+
+// TestCompareWithNoiseFloor pins the satellite behaviour: a noise-floor
+// file produced by calibration mode stops compare from flagging (a) a
+// uniform host slowdown across the whole suite and (b) a benchmark
+// within its measured per-benchmark jitter — while a real regression
+// above both still fails.
+func TestCompareWithNoiseFloor(t *testing.T) {
+	dir := t.TempDir()
+
+	// calibration: three repeated runs where "Jittery" swings ±40%
+	run1 := writeReport(t, dir, "run1.json", `{"benchmarks":[
+		{"name":"A","iterations":10,"ns_per_op":100,"allocs_per_op":1},
+		{"name":"B","iterations":10,"ns_per_op":200,"allocs_per_op":1},
+		{"name":"C","iterations":10,"ns_per_op":300,"allocs_per_op":1},
+		{"name":"Jittery","iterations":10,"ns_per_op":100,"allocs_per_op":1}]}`)
+	run2 := writeReport(t, dir, "run2.json", `{"benchmarks":[
+		{"name":"A","iterations":10,"ns_per_op":101,"allocs_per_op":1},
+		{"name":"B","iterations":10,"ns_per_op":202,"allocs_per_op":1},
+		{"name":"C","iterations":10,"ns_per_op":303,"allocs_per_op":1},
+		{"name":"Jittery","iterations":10,"ns_per_op":140,"allocs_per_op":1}]}`)
+	noisePath := filepath.Join(dir, "noise.json")
+	var sb strings.Builder
+	if err := calibrateNoise(&sb, noisePath, []string{run1, run2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "noisiest: Jittery") {
+		t.Errorf("calibration summary missing noisiest benchmark:\n%s", sb.String())
+	}
+	noise, err := loadNoise(noisePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := writeReport(t, dir, "old.json", `{"benchmarks":[
+		{"name":"A","iterations":10,"ns_per_op":100,"allocs_per_op":1},
+		{"name":"B","iterations":10,"ns_per_op":200,"allocs_per_op":1},
+		{"name":"C","iterations":10,"ns_per_op":300,"allocs_per_op":1},
+		{"name":"Jittery","iterations":10,"ns_per_op":100,"allocs_per_op":1}]}`)
+
+	// the whole suite drifted +30% (loaded host) and Jittery additionally
+	// swung +35% of its own jitter — all inside the noise model
+	drift := writeReport(t, dir, "new_drift.json", `{"benchmarks":[
+		{"name":"A","iterations":10,"ns_per_op":130,"allocs_per_op":1},
+		{"name":"B","iterations":10,"ns_per_op":260,"allocs_per_op":1},
+		{"name":"C","iterations":10,"ns_per_op":390,"allocs_per_op":1},
+		{"name":"Jittery","iterations":10,"ns_per_op":175,"allocs_per_op":1}]}`)
+	regressed, err := compareFilesNoise(&strings.Builder{}, old, drift, 0.15, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("without the noise file, +30% uniform drift should flag")
+	}
+	sb.Reset()
+	regressed, err = compareFilesNoise(&sb, old, drift, 0.15, "", noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("noise-calibrated compare flagged host drift + in-floor jitter:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "noise-calibrated") {
+		t.Errorf("output missing noise-calibration note:\n%s", sb.String())
+	}
+
+	// a real regression: B got 2x slower on top of the same host drift
+	realSlow := writeReport(t, dir, "new_real.json", `{"benchmarks":[
+		{"name":"A","iterations":10,"ns_per_op":130,"allocs_per_op":1},
+		{"name":"B","iterations":10,"ns_per_op":520,"allocs_per_op":1},
+		{"name":"C","iterations":10,"ns_per_op":390,"allocs_per_op":1},
+		{"name":"Jittery","iterations":10,"ns_per_op":130,"allocs_per_op":1}]}`)
+	regressed, err = compareFilesNoise(&strings.Builder{}, old, realSlow, 0.15, "", noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("noise calibration masked a real 2x regression")
+	}
+}
+
+func TestCalibrateNoiseNeedsTwoRuns(t *testing.T) {
+	dir := t.TempDir()
+	one := writeReport(t, dir, "one.json", `{"benchmarks":[
+		{"name":"A","iterations":10,"ns_per_op":100,"allocs_per_op":1}]}`)
+	err := calibrateNoise(&strings.Builder{}, filepath.Join(dir, "noise.json"), []string{one})
+	if err == nil {
+		t.Fatal("expected error for a single calibration run")
+	}
+}

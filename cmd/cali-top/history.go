@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+
+	"caligo/internal/obs/history"
+)
+
+// sparkChars are the eight block-element levels a sparkline is quantised
+// into, lowest to highest.
+var sparkChars = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders a series as one block-element rune per sample, scaled
+// to the series' own min..max (a flat series renders as the lowest level).
+func sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		lvl := 0
+		if hi > lo {
+			lvl = int((v - lo) / (hi - lo) * float64(len(sparkChars)-1))
+		}
+		out[i] = sparkChars[lvl]
+	}
+	return string(out)
+}
+
+// fetchHistory retrieves the retained telemetry windows from
+// /debug/history.
+func (m *monitor) fetchHistory() (*history.WindowsDoc, error) {
+	resp, err := m.client.Get(m.base + "/debug/history")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/history: %s", resp.Status)
+	}
+	var doc history.WindowsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("parse /debug/history: %w", err)
+	}
+	return &doc, nil
+}
+
+// fetchCluster retrieves the cluster-wide telemetry view from
+// /debug/cluster.
+func (m *monitor) fetchCluster() (*history.ClusterView, error) {
+	resp, err := m.client.Get(m.base + "/debug/cluster")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/cluster: %s", resp.Status)
+	}
+	var view history.ClusterView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, fmt.Errorf("parse /debug/cluster: %w", err)
+	}
+	return &view, nil
+}
+
+// renderClusterLine prints the cluster-wide view's summary — rank count,
+// telemetry epochs, and the slowest rank — when a telemetry-reduction
+// epoch has published one (omitted otherwise).
+func renderClusterLine(w *os.File, cur *scrapeState) {
+	cl := cur.cluster
+	if cl == nil || cl.Ranks == 0 {
+		return
+	}
+	slowest := "n/a"
+	if cl.SlowestRank >= 0 {
+		slowest = fmt.Sprintf("rank %d (%s)", cl.SlowestRank, humanNS(float64(cl.SlowestNS)))
+	}
+	fmt.Fprintf(w, "cluster  ranks %4d   epochs %6d   slowest %s\n",
+		cl.Ranks, cl.Epochs, slowest)
+}
+
+// historySeries is one metric's per-window value series, in window order
+// (oldest first).
+type historySeries struct {
+	name string
+	kind string
+	vals []float64
+}
+
+// seriesValue extracts the sparkline sample for a metric in one window:
+// counters plot their per-window increment, gauges their sample, and
+// histograms their per-window observation count.
+func seriesValue(wm history.WindowMetric) float64 {
+	switch wm.Kind {
+	case "counter":
+		return float64(wm.Delta)
+	case "gauge":
+		return float64(wm.Value)
+	default: // histogram
+		return float64(wm.Count)
+	}
+}
+
+// buildSeries pivots the window documents into per-metric series. A
+// metric absent from a window contributes a zero sample, so every series
+// spans all windows and sparklines stay aligned.
+func buildSeries(windows []history.Window) []historySeries {
+	type key struct{ name, kind string }
+	idx := map[key]int{}
+	var series []historySeries
+	for wi, win := range windows {
+		for _, wm := range win.Metrics {
+			k := key{wm.Name, wm.Kind}
+			si, ok := idx[k]
+			if !ok {
+				si = len(series)
+				idx[k] = si
+				series = append(series, historySeries{
+					name: wm.Name,
+					kind: wm.Kind,
+					vals: make([]float64, len(windows)),
+				})
+			}
+			series[si].vals[wi] = seriesValue(wm)
+		}
+	}
+	sort.Slice(series, func(i, j int) bool {
+		if series[i].name != series[j].name {
+			return series[i].name < series[j].name
+		}
+		return series[i].kind < series[j].kind
+	})
+	return series
+}
+
+// renderHistory renders the -history view: one sparkline per metric over
+// the retained windows, newest sample rightmost, plus the cluster line.
+func (m *monitor) renderHistory(w io.Writer, cur *scrapeState) {
+	doc := cur.windows
+	fmt.Fprintf(w, "cali-top — %s — %s (telemetry history)\n\n",
+		m.base, cur.at.Format("15:04:05"))
+	if cur.cluster != nil && cur.cluster.Ranks > 0 {
+		cl := cur.cluster
+		slowest := "n/a"
+		if cl.SlowestRank >= 0 {
+			slowest = fmt.Sprintf("rank %d (%s)", cl.SlowestRank, humanNS(float64(cl.SlowestNS)))
+		}
+		fmt.Fprintf(w, "cluster  ranks %4d   epochs %6d   slowest %s\n\n",
+			cl.Ranks, cl.Epochs, slowest)
+	}
+	if doc == nil || doc.Count == 0 {
+		fmt.Fprintln(w, "no telemetry windows recorded (is history recording on? see caliper.StartHistory)")
+		return
+	}
+	windows := doc.Windows
+	span := float64(0)
+	if n := len(windows); n > 0 {
+		span = float64(windows[n-1].Start+windows[n-1].Dur-windows[0].Start) / 1e9
+	}
+	fmt.Fprintf(w, "%d windows spanning %.0fs (oldest → newest; counters per-window increments, gauges samples, histograms observation counts)\n\n",
+		doc.Count, span)
+	series := buildSeries(windows)
+	nameW := 0
+	for _, s := range series {
+		if len(s.name) > nameW {
+			nameW = len(s.name)
+		}
+	}
+	for _, s := range series {
+		last := s.vals[len(s.vals)-1]
+		fmt.Fprintf(w, "%-*s %-9s %s  %s\n",
+			nameW, s.name, s.kind, sparkline(s.vals), formatSample(s.name, s.kind, last))
+	}
+}
+
+// formatSample renders a series' newest sample: nanosecond-named metrics
+// get an adaptive time unit, byte-named metrics an adaptive size unit,
+// everything else a plain count.
+func formatSample(name, kind string, v float64) string {
+	switch {
+	case kind == "gauge" && hasSuffix(name, ".ns"):
+		return humanNS(v)
+	case hasSuffix(name, ".bytes") || hasSuffix(name, ".bytes.written"):
+		return humanBytes(v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

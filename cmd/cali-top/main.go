@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"caligo/internal/obs"
+	"caligo/internal/obs/history"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func run(args []string) error {
 	count := fs.Int("n", 0, "exit after this many refreshes (0 = run until interrupted)")
 	once := fs.Bool("once", false, "single scrape: print cumulative totals as a plain table and exit")
 	queries := fs.Int("queries", 10, "number of recent queries to show")
+	histMode := fs.Bool("history", false, "telemetry-history mode: render per-metric sparklines from /debug/history")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: cali-top [flags] host:port\n\n")
 		fs.PrintDefaults()
@@ -66,13 +68,18 @@ func run(args []string) error {
 		base:    target,
 		client:  &http.Client{Timeout: 10 * time.Second},
 		queries: *queries,
+		history: *histMode,
 	}
 	if *once {
 		cur, err := mon.scrape()
 		if err != nil {
 			return err
 		}
-		mon.renderOnce(os.Stdout, cur)
+		if mon.history {
+			mon.renderHistory(os.Stdout, cur)
+		} else {
+			mon.renderOnce(os.Stdout, cur)
+		}
 		return nil
 	}
 	prev, err := mon.scrape()
@@ -88,23 +95,30 @@ func run(args []string) error {
 		// ANSI clear-screen + home; a plain scrolling dump on terminals
 		// that ignore escapes
 		fmt.Print("\x1b[2J\x1b[H")
-		mon.render(os.Stdout, prev, cur)
+		if mon.history {
+			mon.renderHistory(os.Stdout, cur)
+		} else {
+			mon.render(os.Stdout, prev, cur)
+		}
 		prev = cur
 	}
 	return nil
 }
 
-// scrapeState is one scrape of both endpoints.
+// scrapeState is one scrape of the debug endpoints.
 type scrapeState struct {
 	at      time.Time
 	metrics *obs.Metrics
 	queries *obs.QueryStatsDoc
+	windows *history.WindowsDoc // -history mode only
+	cluster *history.ClusterView
 }
 
 type monitor struct {
 	base    string
 	client  *http.Client
 	queries int
+	history bool
 }
 
 func (m *monitor) scrape() (*scrapeState, error) {
@@ -135,6 +149,18 @@ func (m *monitor) scrape() (*scrapeState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("parse /debug/queries: %w", err)
 	}
+	// Cluster view is best-effort: the endpoint serves an empty view
+	// until a telemetry-reduction epoch has run, and older servers may
+	// not have the route at all.
+	if cl, err := m.fetchCluster(); err == nil {
+		st.cluster = cl
+	}
+	if m.history {
+		st.windows, err = m.fetchHistory()
+		if err != nil {
+			return nil, err
+		}
+	}
 	return st, nil
 }
 
@@ -156,8 +182,11 @@ func rate(prev, cur *scrapeState, family string) float64 {
 	}
 	d := value(cur, family) - value(prev, family)
 	if d < 0 {
-		// counter reset (process restart between scrapes)
-		d = value(cur, family)
+		// Counter reset (process restart between scrapes): the interval
+		// straddles the restart, so no meaningful rate exists — clamp to
+		// zero instead of reporting the new cumulative total as a
+		// one-interval spike.
+		d = 0
 	}
 	return d / dt
 }
@@ -210,6 +239,7 @@ func (m *monitor) render(w *os.File, prev, cur *scrapeState) {
 			rate(prev, cur, "caligo_rnet_epochs"), pending,
 			humanNS(value(cur, "caligo_rnet_sync_lag_ns")))
 	}
+	renderClusterLine(w, cur)
 	renderIndexLine(w, cur)
 	renderCacheLine(w, cur)
 	fmt.Fprintln(w)
@@ -250,6 +280,7 @@ func (m *monitor) renderOnce(w *os.File, cur *scrapeState) {
 			value(cur, "caligo_rnet_epochs"), pending,
 			humanNS(value(cur, "caligo_rnet_sync_lag_ns")))
 	}
+	renderClusterLine(w, cur)
 	renderIndexLine(w, cur)
 	renderCacheLine(w, cur)
 	fmt.Fprintln(w)

@@ -256,6 +256,10 @@ const (
 	tagBcast   = -2_000_000
 	tagReduce  = -3_000_000
 	tagGather  = -4_000_000
+	// tagReduceTel reserves a second reduction tag space for the
+	// telemetry-reduction epoch, keeping observability traffic and
+	// application data reductions un-confusable on one communicator.
+	tagReduceTel = -5_000_000
 )
 
 // Barrier synchronizes all ranks using the dissemination algorithm
@@ -342,6 +346,18 @@ func (c *Comm) Reduce(root int, data []byte, combine Combine) ([]byte, error) {
 // (fan-in 2 is the binomial tree). Exposed for the ablation study of the
 // reduction-tree arity.
 func (c *Comm) ReduceFanin(root int, data []byte, combine Combine, fanin int) ([]byte, error) {
+	return c.reduceFaninTag(root, data, combine, fanin, tagReduce)
+}
+
+// ReduceFaninTelemetry is ReduceFanin over the dedicated telemetry tag
+// space, so a telemetry-reduction epoch (rnet.SyncTelemetry, pquery's
+// post-query epoch) can never collide with an application data reduction
+// even when both are in flight on the same communicator.
+func (c *Comm) ReduceFaninTelemetry(root int, data []byte, combine Combine, fanin int) ([]byte, error) {
+	return c.reduceFaninTag(root, data, combine, fanin, tagReduceTel)
+}
+
+func (c *Comm) reduceFaninTag(root int, data []byte, combine Combine, fanin, tagBase int) ([]byte, error) {
 	p := c.world.size
 	if root < 0 || root >= p {
 		return nil, fmt.Errorf("mpi: reduce: invalid root %d", root)
@@ -363,7 +379,7 @@ func (c *Comm) ReduceFanin(root int, data []byte, combine Combine, fanin int) ([
 		if digit != 0 {
 			parentV := vrank - digit*stride
 			parent := (parentV + root) % p
-			if err := c.Send(parent, tagReduce-stride, acc); err != nil {
+			if err := c.Send(parent, tagBase-stride, acc); err != nil {
 				return nil, err
 			}
 			return nil, nil
@@ -374,7 +390,7 @@ func (c *Comm) ReduceFanin(root int, data []byte, combine Combine, fanin int) ([
 				break
 			}
 			child := (childV + root) % p
-			got, _, err := c.Recv(child, tagReduce-stride)
+			got, _, err := c.Recv(child, tagBase-stride)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,74 @@
+package history_test
+
+import (
+	"testing"
+	"time"
+
+	. "caligo/internal/obs/history"
+	"caligo/internal/telemetry"
+)
+
+// benchRegistry builds a registry with a representative metric mix: a
+// few counters and gauges plus two live histograms.
+func benchRegistry() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	reg.Counter("bench.requests").Add(1000)
+	reg.Counter("bench.bytes").Add(1 << 20)
+	reg.Counter("bench.errors").Add(3)
+	reg.Gauge("bench.active").Set(17)
+	reg.Gauge("bench.depth").Set(-2)
+	h := reg.Histogram("bench.lat.ns")
+	h2 := reg.Histogram("bench.size.bytes")
+	for i := int64(1); i <= 64; i++ {
+		h.Observe(i * 1000)
+		h2.Observe(i * i)
+	}
+	return reg
+}
+
+// BenchmarkHistoryCapture measures one full window capture: registry
+// export, diff, .cali encode, ring-file write, retention. This is the
+// recorder's per-interval steady-state cost (the number recorded in the
+// caligo.history.capture.ns histogram).
+func BenchmarkHistoryCapture(b *testing.B) {
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	reg := benchRegistry()
+	rec, err := Start(Options{Dir: b.TempDir(), Interval: time.Hour, MaxFiles: 4, Registry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rec.Stop()
+	c := reg.Counter("bench.requests")
+	h := reg.Histogram("bench.lat.ns")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(int64(i))
+		if _, err := rec.CaptureNow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistoryCaptureDisabled measures the kill-switch path: one
+// atomic load, zero allocations.
+func BenchmarkHistoryCaptureDisabled(b *testing.B) {
+	prevTel := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prevTel)
+	rec, err := Start(Options{Dir: b.TempDir(), Interval: time.Hour, Registry: benchRegistry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rec.Stop()
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rec.CaptureNow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

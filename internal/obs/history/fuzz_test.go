@@ -1,0 +1,117 @@
+package history_test
+
+import (
+	"bytes"
+	"testing"
+
+	"caligo/internal/attr"
+	"caligo/internal/calformat"
+	"caligo/internal/contexttree"
+	"caligo/internal/core"
+	. "caligo/internal/obs/history"
+	"caligo/internal/telemetry"
+)
+
+// FuzzHistoryRoundTrip drives a telemetry window through the full
+// history pipeline — AppendWindow records → .cali encode → decode →
+// cluster-scheme aggregation — and checks the window's counter delta,
+// gauge sample, and histogram count survive the round trip intact.
+func FuzzHistoryRoundTrip(f *testing.F) {
+	f.Add(uint64(5), int64(-3), int64(100), int64(5000))
+	f.Add(uint64(0), int64(0), int64(0), int64(0))
+	f.Add(uint64(1), int64(1), int64(1), int64(-1))
+	f.Add(^uint64(0), int64(-1<<62), int64(1<<40), int64(7))
+	f.Add(uint64(1<<33), int64(42), int64(-9000), int64(1<<20))
+	f.Fuzz(func(t *testing.T, counter uint64, gauge int64, obs1, obs2 int64) {
+		hist := telemetry.HistogramSnapshot{}
+		// build the histogram through the public observe path so bins are
+		// always internally consistent
+		reg := telemetry.NewRegistry()
+		prevTel := telemetry.SetEnabled(true)
+		defer telemetry.SetEnabled(prevTel)
+		h := reg.Histogram("fz.hist")
+		h.Observe(obs1)
+		h.Observe(obs2)
+		hist = h.Snapshot()
+
+		cur := []telemetry.Metric{
+			{Name: "fz.counter", Kind: telemetry.KindCounter, Counter: counter},
+			{Name: "fz.gauge", Kind: telemetry.KindGauge, Gauge: gauge},
+			{Name: "fz.hist", Kind: telemetry.KindHistogram, Hist: hist},
+		}
+		// registry exports sort by name then kind; these names are already
+		// sorted, the kinds distinct
+		srcReg := attr.NewRegistry()
+		schema, err := NewSchema(srcReg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := schema.AppendWindow(nil, 1, 10, 20, nil, cur)
+
+		var buf bytes.Buffer
+		w := calformat.NewWriter(&buf, srcReg, contexttree.New())
+		for _, rec := range recs {
+			if err := w.WriteFlat(rec); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		dstReg := attr.NewRegistry()
+		rd := calformat.NewReader(bytes.NewReader(buf.Bytes()), dstReg, contexttree.New())
+		decoded, err := rd.ReadAll()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(decoded) != len(recs) {
+			t.Fatalf("decoded %d records, encoded %d", len(decoded), len(recs))
+		}
+
+		db, err := core.NewDB(ClusterScheme(), dstReg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range decoded {
+			db.Update(rec)
+		}
+		view, err := BuildClusterView(db, db, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		find := func(name, kind string) *ClusterMetric {
+			for i := range view.Metrics {
+				if view.Metrics[i].Name == name && view.Metrics[i].Kind == kind {
+					return &view.Metrics[i]
+				}
+			}
+			return nil
+		}
+		if m := find("fz.counter", "counter"); counter == 0 {
+			if m != nil {
+				t.Error("zero counter must not emit a record")
+			}
+		} else if m == nil || m.Delta != counter {
+			t.Errorf("counter round trip = %+v, want delta %d", m, counter)
+		}
+		if m := find("fz.gauge", "gauge"); gauge == 0 {
+			if m != nil {
+				t.Error("zero one-shot gauge must not emit a record")
+			}
+		} else if m == nil || m.Min != gauge || m.Max != gauge {
+			t.Errorf("gauge round trip = %+v, want %d", m, gauge)
+		}
+		if m := find("fz.hist", "histogram"); m == nil || m.Count != hist.Count || m.Sum != hist.Sum {
+			t.Errorf("histogram round trip = %+v, want count %d sum %d", m, hist.Count, hist.Sum)
+		} else {
+			var binSum uint64
+			for _, b := range m.Bins {
+				binSum += b.Count
+			}
+			if binSum != hist.Count {
+				t.Errorf("bin counts sum to %d, want %d", binSum, hist.Count)
+			}
+		}
+	})
+}

@@ -285,10 +285,26 @@ func finishRank(c *mpi.Comm, q *calql.Query, eng *query.Engine, reg *attr.Regist
 	c.Advance(float64(processed) * perRecordNs)
 	localVirt := c.Clock()
 
+	var res *Result
+	var err error
 	if q.HasAggregation() {
-		return reduceAggregated(c, q, eng, fanin, localWall, localVirt, processed, qid)
+		res, err = reduceAggregated(c, q, eng, fanin, localWall, localVirt, processed, qid)
+	} else {
+		res, err = gatherRows(c, q, eng, reg, localWall, localVirt, processed, qid)
 	}
-	return gatherRows(c, q, eng, reg, localWall, localVirt, processed, qid)
+	if err != nil {
+		return nil, err
+	}
+	// After the data reduction, run one telemetry-reduction epoch over the
+	// dedicated tag space: per-rank query stats merge into the cluster-wide
+	// observability view (/debug/cluster). Gated on the process-global
+	// telemetry switch, so the collective stays uniform across ranks.
+	if telemetry.Enabled() {
+		if terr := telemetryEpoch(c, fanin, processed, localWall); terr != nil {
+			return nil, terr
+		}
+	}
+	return res, nil
 }
 
 // countingReader counts bytes consumed from the underlying reader, for

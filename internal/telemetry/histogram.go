@@ -221,6 +221,27 @@ func (s *HistogramSnapshot) AppendBuckets(dst []Bucket) []Bucket {
 	return dst
 }
 
+// Sub returns the bin-wise window delta s − prev, for turning two
+// cumulative snapshots of the same histogram into the observations that
+// landed between them (the inverse of Merge over a time axis: summing
+// consecutive Sub results reconstructs the cumulative snapshot). A
+// snapshot whose count went backwards means the registry was reset
+// between the two reads; Sub then returns s unchanged, treating the
+// post-reset state as a fresh window. Individual bins that went
+// backwards without a count reset (torn concurrent reads) clamp to 0.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if s.Count < prev.Count {
+		return s
+	}
+	d := HistogramSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	for i := range s.Bins {
+		if s.Bins[i] > prev.Bins[i] {
+			d.Bins[i] = s.Bins[i] - prev.Bins[i]
+		}
+	}
+	return d
+}
+
 // Mean returns the arithmetic mean of recorded values (0 when empty).
 func (s HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {
